@@ -1,0 +1,33 @@
+//! Ablation: does the analytic cost model scale the way the real kernel's
+//! wall-clock does?  Benchmarks the quick-sort kernel at two sizes and
+//! reports alongside the cost model's predicted instruction ratio.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmpb_datagen::text::TextGenerator;
+use dmpb_motifs::bigdata::sort;
+use dmpb_motifs::{MotifConfig, MotifKind};
+use std::hint::black_box;
+
+fn bench_costmodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_costmodel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[10_000usize, 40_000] {
+        let keys = TextGenerator::new(1).generate(n).keys();
+        group.bench_with_input(BenchmarkId::new("quick_sort_wallclock", n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                sort::quick_sort(&mut k);
+                black_box(k.len())
+            })
+        });
+        // Print the cost-model prediction once per size for comparison.
+        let data = TextGenerator::descriptor((n * 100) as u64);
+        let profile = MotifKind::QuickSort.cost_profile(&data, &MotifConfig::big_data_default());
+        eprintln!("cost-model instructions for n={n}: {}", profile.total_instructions());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_costmodel);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: decision-tree tuner vs greedy tuner — how much accuracy each
+//! reaches on the TeraSort proxy within a fixed iteration budget.
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmpb_core::autotune::{AutoTuner, TunerStrategy};
+use dmpb_core::decompose::decompose;
+use dmpb_core::features::{initial_parameters, FeatureSelection};
+use dmpb_core::ProxyBenchmark;
+use dmpb_workloads::workload::Workload;
+use dmpb_workloads::{workload_by_kind, ClusterConfig, WorkloadKind};
+use std::hint::black_box;
+
+fn bench_tuner(c: &mut Criterion) {
+    let cluster = ClusterConfig::five_node_westmere();
+    let workload = workload_by_kind(WorkloadKind::TeraSort);
+    let target = workload.measure(&cluster);
+    let proxy = ProxyBenchmark::from_decomposition(
+        &decompose(workload.as_ref()),
+        initial_parameters(workload.as_ref(), &cluster),
+    );
+    let metrics = FeatureSelection::paper_default().metrics;
+
+    let mut group = c.benchmark_group("ablation_tuner");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, strategy) in [("decision_tree", TunerStrategy::DecisionTree), ("greedy", TunerStrategy::Greedy)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let tuner = AutoTuner { strategy, max_iterations: 3, ..AutoTuner::default() };
+                let outcome = tuner.tune(proxy.clone(), &target, &cluster.node.arch, &metrics);
+                black_box(outcome.accuracy.average())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuner);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches over the generated proxies: real execution of the
+//! sample kernels and measurement under the performance model.
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmpb_core::decompose::decompose;
+use dmpb_core::features::initial_parameters;
+use dmpb_core::ProxyBenchmark;
+use dmpb_perfmodel::ArchProfile;
+use dmpb_workloads::{workload_by_kind, ClusterConfig, WorkloadKind};
+use std::hint::black_box;
+
+fn bench_proxies(c: &mut Criterion) {
+    let cluster = ClusterConfig::five_node_westmere();
+    let arch = ArchProfile::westmere_e5645();
+    let mut group = c.benchmark_group("proxy_suite");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in WorkloadKind::ALL {
+        let workload = workload_by_kind(kind);
+        let proxy = ProxyBenchmark::from_decomposition(
+            &decompose(workload.as_ref()),
+            initial_parameters(workload.as_ref(), &cluster),
+        );
+        group.bench_function(format!("execute_sample/{kind}"), |b| {
+            b.iter(|| black_box(proxy.execute_sample(2_000, 1).checksum))
+        });
+        group.bench_function(format!("measure/{kind}"), |b| {
+            b.iter(|| black_box(proxy.measure(&arch).runtime_secs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proxies);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 10: runtime speedup across Westmere and Haswell processors for the
+//! real workloads and their proxies.
+use dmpb_bench::{generate_suite, paper_value, PAPER_FIG10_SPEEDUP};
+use dmpb_metrics::table::TextTable;
+use dmpb_workloads::{workload_by_kind, ClusterConfig};
+
+fn main() {
+    let suite = generate_suite();
+    let westmere = ClusterConfig::three_node_westmere_64gb();
+    let haswell = ClusterConfig::three_node_haswell();
+    let mut t = TextTable::new(
+        "Fig. 10 — Runtime speedup across Westmere and Haswell",
+        &["workload", "real speedup (paper)", "real speedup (model)", "proxy speedup (model)"],
+    );
+    for r in suite.reports() {
+        let workload = workload_by_kind(r.kind);
+        let real_speedup = workload.measure(&westmere).runtime_secs / workload.measure(&haswell).runtime_secs;
+        let proxy_speedup = r.proxy.measure(&westmere.node.arch).runtime_secs
+            / r.proxy.measure(&haswell.node.arch).runtime_secs;
+        t.add_row(&[
+            r.kind.to_string(),
+            format!("{:.2}x", paper_value(&PAPER_FIG10_SPEEDUP, r.kind)),
+            format!("{real_speedup:.2}x"),
+            format!("{proxy_speedup:.2}x"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Consistency check: the proxy speedup should track the real speedup for every workload.");
+}

@@ -1,0 +1,36 @@
+//! Fig. 4: system and micro-architectural data accuracy on Xeon E5645.
+use dmpb_bench::{generate_suite, paper_value, PAPER_FIG4_ACCURACY};
+use dmpb_metrics::table::{fmt_percent, TextTable};
+use dmpb_metrics::MetricId;
+
+fn main() {
+    let suite = generate_suite();
+    let mut t = TextTable::new(
+        "Fig. 4 — Average data accuracy per workload (Xeon E5645)",
+        &["workload", "paper", "measured", "worst metric"],
+    );
+    for r in suite.reports() {
+        let (worst, acc) = r.accuracy.worst_metric().unwrap();
+        t.add_row(&[
+            r.kind.to_string(),
+            fmt_percent(paper_value(&PAPER_FIG4_ACCURACY, r.kind)),
+            fmt_percent(r.accuracy.average()),
+            format!("{worst} ({:.0}%)", acc * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Per-metric detail for the full figure.
+    let mut d = TextTable::new(
+        "Fig. 4 (detail) — per-metric accuracy",
+        &["metric", "TeraSort", "K-means", "PageRank", "AlexNet", "Inception-V3"],
+    );
+    for id in MetricId::TUNABLE {
+        let mut row = vec![id.name().to_string()];
+        for r in suite.reports() {
+            row.push(fmt_percent(r.accuracy.get(id).unwrap_or(1.0)));
+        }
+        d.add_row(&row);
+    }
+    println!("{}", d.render());
+}

@@ -1,0 +1,31 @@
+//! Fig. 8: one Proxy K-means driven by sparse and dense inputs stays
+//! accurate against the corresponding real runs.
+use dmpb_core::generator::ProxyGenerator;
+use dmpb_metrics::table::{fmt_percent, TextTable};
+use dmpb_metrics::{AccuracyReport, MetricId};
+use dmpb_workloads::hadoop::KMeans;
+use dmpb_workloads::workload::Workload;
+use dmpb_workloads::ClusterConfig;
+
+fn main() {
+    let cluster = ClusterConfig::five_node_westmere();
+    // Generate ONE proxy, from the sparse configuration only.
+    let report = ProxyGenerator::new(cluster).generate(&KMeans::paper_configuration());
+    let proxy = &report.proxy;
+
+    // Drive the same proxy with dense input data and compare against the
+    // dense real run.
+    let dense_real = KMeans::dense_configuration().measure(&cluster);
+    let dense_proxy = proxy
+        .with_input(KMeans::dense_configuration().input_descriptor().scaled_to(proxy.parameters().data_size_bytes))
+        .measure(&cluster.node.arch);
+    let dense_accuracy = AccuracyReport::compare(&dense_real, &dense_proxy, &MetricId::TUNABLE);
+
+    let mut t = TextTable::new(
+        "Fig. 8 — Proxy K-means accuracy under different input sparsity",
+        &["input", "average accuracy (paper)", "average accuracy (measured)"],
+    );
+    t.add_row(&["sparse (90%)".into(), ">91%".into(), fmt_percent(report.accuracy.average())]);
+    t.add_row(&["dense (0%)".into(), ">91%".into(), fmt_percent(dense_accuracy.average())]);
+    println!("{}", t.render());
+}

@@ -1,0 +1,33 @@
+//! Fig. 9: accuracy on the re-configured three-node cluster.
+use dmpb_bench::{paper_value, PAPER_FIG9_ACCURACY};
+use dmpb_core::generator::ProxyGenerator;
+use dmpb_metrics::table::{fmt_percent, TextTable};
+use dmpb_workloads::hadoop::{KMeans, PageRank, TeraSort};
+use dmpb_workloads::tensorflow::{AlexNet, InceptionV3};
+use dmpb_workloads::workload::Workload;
+use dmpb_workloads::ClusterConfig;
+
+fn main() {
+    let cluster = ClusterConfig::three_node_westmere_64gb();
+    let generator = ProxyGenerator::new(cluster);
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(TeraSort::paper_configuration()),
+        Box::new(KMeans::paper_configuration()),
+        Box::new(PageRank::paper_configuration()),
+        Box::new(AlexNet::reconfigured(3_000)),
+        Box::new(InceptionV3::reconfigured(200)),
+    ];
+    let mut t = TextTable::new(
+        "Fig. 9 — Accuracy on the new cluster configuration (3 nodes, 64 GB)",
+        &["workload", "paper", "measured"],
+    );
+    for w in workloads {
+        let r = generator.generate(w.as_ref());
+        t.add_row(&[
+            r.kind.to_string(),
+            fmt_percent(paper_value(&PAPER_FIG9_ACCURACY, r.kind)),
+            fmt_percent(r.accuracy.average()),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,20 @@
+//! Table I: tunable parameters for each data motif.
+use dmpb_core::parameters::ParameterId;
+use dmpb_metrics::table::TextTable;
+
+fn main() {
+    let mut t = TextTable::new("Table I — Tunable parameters for each data motif", &["parameter", "description"]);
+    let desc = |p: ParameterId| match p {
+        ParameterId::DataSize => "Input data size for each big data motif",
+        ParameterId::ChunkSize => "Data block size processed by each thread",
+        ParameterId::NumTasks => "Process and thread numbers per motif",
+        ParameterId::Weight => "Contribution of each data motif",
+        ParameterId::BatchSize => "Batch size of each iteration (AI motifs)",
+        ParameterId::FrameworkWeight => "Weight of the stack-emulation (GC-like) component",
+    };
+    for p in ParameterId::ALL {
+        t.add_str_row(&[p.name(), desc(p)]);
+    }
+    println!("{}", t.render());
+    println!("(batchSize/totalSize/heightSize/widthSize/numChannels map onto the AI motif geometry; see ProxyParameters.)");
+}

@@ -1,0 +1,25 @@
+//! Table VI: execution time of real workloads vs proxies on the five-node
+//! Xeon E5645 cluster.
+use dmpb_bench::{generate_suite, PAPER_TABLE6};
+use dmpb_metrics::table::{fmt_speedup, TextTable};
+
+fn main() {
+    let suite = generate_suite();
+    let mut t = TextTable::new(
+        "Table VI — Execution time on Xeon E5645 (5-node cluster)",
+        &["workload", "real (paper)", "proxy (paper)", "real (model)", "proxy (model)", "speedup (paper)", "speedup (model)"],
+    );
+    for (kind, paper_real, paper_proxy) in PAPER_TABLE6 {
+        let r = suite.report(kind);
+        t.add_row(&[
+            kind.to_string(),
+            format!("{paper_real:.0} s"),
+            format!("{paper_proxy:.2} s"),
+            format!("{:.0} s", r.real_metrics.runtime_secs),
+            format!("{:.2} s", r.proxy_metrics.runtime_secs),
+            fmt_speedup(paper_real / paper_proxy),
+            fmt_speedup(r.speedup),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,37 @@
+//! Table VII: execution time on the re-configured three-node cluster.
+use dmpb_bench::PAPER_TABLE7;
+use dmpb_core::generator::ProxyGenerator;
+use dmpb_metrics::table::{fmt_speedup, TextTable};
+use dmpb_workloads::hadoop::{KMeans, PageRank, TeraSort};
+use dmpb_workloads::tensorflow::{AlexNet, InceptionV3};
+use dmpb_workloads::workload::Workload;
+use dmpb_workloads::ClusterConfig;
+
+fn main() {
+    let cluster = ClusterConfig::three_node_westmere_64gb();
+    let generator = ProxyGenerator::new(cluster);
+    // Section IV-B shortens the AI runs: 3 000 and 200 steps.
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(TeraSort::paper_configuration()),
+        Box::new(KMeans::paper_configuration()),
+        Box::new(PageRank::paper_configuration()),
+        Box::new(AlexNet::reconfigured(3_000)),
+        Box::new(InceptionV3::reconfigured(200)),
+    ];
+    let mut t = TextTable::new(
+        "Table VII — Execution time on the 3-node / 64 GB cluster",
+        &["workload", "real (paper)", "proxy (paper)", "real (model)", "proxy (model)", "speedup (model)"],
+    );
+    for (w, (kind, paper_real, paper_proxy)) in workloads.iter().zip(PAPER_TABLE7) {
+        let r = generator.generate(w.as_ref());
+        t.add_row(&[
+            kind.to_string(),
+            format!("{paper_real:.0} s"),
+            format!("{paper_proxy:.2} s"),
+            format!("{:.0} s", r.real_metrics.runtime_secs),
+            format!("{:.2} s", r.proxy_metrics.runtime_secs),
+            fmt_speedup(r.speedup),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,113 @@
+//! # dmpb-bench — experiment harness
+//!
+//! One binary per table / figure of the paper's evaluation (see DESIGN.md
+//! for the index), plus Criterion benches over the real motif kernels and
+//! the generated proxies.  This library holds the shared plumbing: suite
+//! generation, table rendering and the paper's reference numbers so every
+//! binary prints "paper vs. measured" side by side.
+
+#![warn(missing_docs)]
+
+use dmpb_core::generator::GenerationReport;
+use dmpb_core::ProxySuite;
+use dmpb_metrics::table::TextTable;
+use dmpb_metrics::MetricId;
+use dmpb_workloads::{ClusterConfig, WorkloadKind};
+
+/// Paper-reported runtimes (seconds) on the five-node Westmere cluster
+/// (Table VI): `(real, proxy)` per workload.
+pub const PAPER_TABLE6: [(WorkloadKind, f64, f64); 5] = [
+    (WorkloadKind::TeraSort, 1500.0, 11.02),
+    (WorkloadKind::KMeans, 5971.0, 8.03),
+    (WorkloadKind::PageRank, 1444.0, 9.03),
+    (WorkloadKind::AlexNet, 1556.0, 10.02),
+    (WorkloadKind::InceptionV3, 6782.0, 18.0),
+];
+
+/// Paper-reported runtimes on the re-configured three-node cluster
+/// (Table VII).
+pub const PAPER_TABLE7: [(WorkloadKind, f64, f64); 5] = [
+    (WorkloadKind::TeraSort, 2721.0, 16.04),
+    (WorkloadKind::KMeans, 7143.0, 14.03),
+    (WorkloadKind::PageRank, 1693.0, 14.07),
+    (WorkloadKind::AlexNet, 1333.0, 11.03),
+    (WorkloadKind::InceptionV3, 5839.0, 19.04),
+];
+
+/// Paper-reported average accuracy per workload on the five-node cluster
+/// (Fig. 4).
+pub const PAPER_FIG4_ACCURACY: [(WorkloadKind, f64); 5] = [
+    (WorkloadKind::TeraSort, 0.94),
+    (WorkloadKind::KMeans, 0.91),
+    (WorkloadKind::PageRank, 0.93),
+    (WorkloadKind::AlexNet, 0.937),
+    (WorkloadKind::InceptionV3, 0.926),
+];
+
+/// Paper-reported average accuracy on the new cluster configuration
+/// (Fig. 9).
+pub const PAPER_FIG9_ACCURACY: [(WorkloadKind, f64); 5] = [
+    (WorkloadKind::TeraSort, 0.91),
+    (WorkloadKind::KMeans, 0.91),
+    (WorkloadKind::PageRank, 0.93),
+    (WorkloadKind::AlexNet, 0.94),
+    (WorkloadKind::InceptionV3, 0.93),
+];
+
+/// Paper-reported Westmere→Haswell runtime speedups (Fig. 10), real
+/// workloads (the proxies track them closely).
+pub const PAPER_FIG10_SPEEDUP: [(WorkloadKind, f64); 5] = [
+    (WorkloadKind::TeraSort, 1.6),
+    (WorkloadKind::KMeans, 1.8),
+    (WorkloadKind::PageRank, 1.5),
+    (WorkloadKind::AlexNet, 1.1),
+    (WorkloadKind::InceptionV3, 1.3),
+];
+
+/// Generates the five-proxy suite against the Section III cluster.
+pub fn generate_suite() -> ProxySuite {
+    ProxySuite::generate(ClusterConfig::five_node_westmere())
+}
+
+/// Formats a metric id with value for table cells.
+pub fn fmt_metric(report: &GenerationReport, id: MetricId) -> (String, String, String) {
+    let real = report.real_metrics.get(id);
+    let proxy = report.proxy_metrics.get(id);
+    let acc = report.accuracy.get(id).unwrap_or(1.0);
+    (format!("{real:.3}"), format!("{proxy:.3}"), format!("{:.1}%", acc * 100.0))
+}
+
+/// Renders and prints a table.
+pub fn print_table(table: &TextTable) {
+    println!("{}", table.render());
+}
+
+/// The paper value lookup helper.
+pub fn paper_value<const N: usize>(table: &[(WorkloadKind, f64); N], kind: WorkloadKind) -> f64 {
+    table.iter().find(|(k, _)| *k == kind).map(|(_, v)| *v).unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_tables_cover_all_workloads() {
+        for kind in WorkloadKind::ALL {
+            assert!(PAPER_TABLE6.iter().any(|(k, _, _)| *k == kind));
+            assert!(PAPER_TABLE7.iter().any(|(k, _, _)| *k == kind));
+            assert!(paper_value(&PAPER_FIG4_ACCURACY, kind) > 0.9);
+            assert!(paper_value(&PAPER_FIG10_SPEEDUP, kind) >= 1.1);
+        }
+    }
+
+    #[test]
+    fn paper_speedups_match_the_quoted_ratios() {
+        // Table VI quotes 136x / 743x / 160x / 155x / 376x.
+        let expected = [136.0, 743.0, 160.0, 155.0, 376.0];
+        for ((_, real, proxy), expect) in PAPER_TABLE6.iter().zip(expected) {
+            let speedup = real / proxy;
+            assert!((speedup - expect).abs() / expect < 0.01, "{speedup} vs {expect}");
+        }
+    }
+}

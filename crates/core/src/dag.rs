@@ -1,0 +1,183 @@
+//! The DAG-like structure of a proxy benchmark.
+//!
+//! The paper represents a proxy benchmark as a directed acyclic graph whose
+//! nodes are original or intermediate data sets and whose edges are data
+//! motifs transforming one data set into the next, each with a weight.
+
+use dmpb_datagen::DataDescriptor;
+use dmpb_motifs::MotifKind;
+
+/// Identifier of a data node within a proxy DAG.
+pub type NodeId = usize;
+
+/// A data node: an original or intermediate data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataNode {
+    /// Human-readable label, e.g. `"input"` or `"sorted-runs"`.
+    pub label: String,
+    /// Descriptor of the data at this node.
+    pub descriptor: DataDescriptor,
+}
+
+/// An edge: one data motif applied to the data at `from`, producing the
+/// data at `to`, contributing `weight` of the proxy's work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotifEdge {
+    /// Source data node.
+    pub from: NodeId,
+    /// Destination data node.
+    pub to: NodeId,
+    /// The motif implementation on this edge.
+    pub motif: MotifKind,
+    /// Relative weight (execution ratio) of this edge.
+    pub weight: f64,
+}
+
+/// A DAG-like combination of data motifs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProxyDag {
+    nodes: Vec<DataNode>,
+    edges: Vec<MotifEdge>,
+}
+
+impl ProxyDag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a data node and returns its id.
+    pub fn add_node<S: Into<String>>(&mut self, label: S, descriptor: DataDescriptor) -> NodeId {
+        self.nodes.push(DataNode { label: label.into(), descriptor });
+        self.nodes.len() - 1
+    }
+
+    /// Adds a motif edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint does not exist, if the edge does not point
+    /// forward (which would create a cycle), or if the weight is not a
+    /// positive finite number.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, motif: MotifKind, weight: f64) {
+        assert!(from < self.nodes.len(), "unknown source node {from}");
+        assert!(to < self.nodes.len(), "unknown target node {to}");
+        assert!(from < to, "edges must point forward to keep the graph acyclic");
+        assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
+        self.edges.push(MotifEdge { from, to, motif, weight });
+    }
+
+    /// The data nodes.
+    pub fn nodes(&self) -> &[DataNode] {
+        &self.nodes
+    }
+
+    /// The motif edges.
+    pub fn edges(&self) -> &[MotifEdge] {
+        &self.edges
+    }
+
+    /// Number of motif edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edges with their weights renormalised to sum to one.
+    pub fn normalized_edges(&self) -> Vec<MotifEdge> {
+        let total: f64 = self.edges.iter().map(|e| e.weight).sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        self.edges
+            .iter()
+            .map(|e| MotifEdge { weight: e.weight / total, ..*e })
+            .collect()
+    }
+
+    /// Edges in topological (execution) order.  Because edges always point
+    /// forward, sorting by source node id is a valid topological order.
+    pub fn topological_edges(&self) -> Vec<MotifEdge> {
+        let mut edges = self.edges.clone();
+        edges.sort_by_key(|e| (e.from, e.to));
+        edges
+    }
+
+    /// Renders the DAG as a small text description for reports.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for edge in self.topological_edges() {
+            out.push_str(&format!(
+                "{} --[{} w={:.2}]--> {}\n",
+                self.nodes[edge.from].label,
+                edge.motif,
+                edge.weight,
+                self.nodes[edge.to].label
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpb_datagen::{DataClass, Distribution};
+
+    fn descriptor() -> DataDescriptor {
+        DataDescriptor::new(DataClass::Text, 1 << 20, 100, 0.0, Distribution::Uniform)
+    }
+
+    fn sample_dag() -> ProxyDag {
+        let mut dag = ProxyDag::new();
+        let input = dag.add_node("input", descriptor());
+        let sampled = dag.add_node("sampled", descriptor().scaled_to(1 << 16));
+        let sorted = dag.add_node("sorted", descriptor());
+        dag.add_edge(input, sampled, MotifKind::RandomSampling, 0.1);
+        dag.add_edge(input, sorted, MotifKind::QuickSort, 0.7);
+        dag.add_edge(sampled, sorted, MotifKind::GraphConstruct, 0.2);
+        dag
+    }
+
+    #[test]
+    fn dag_construction_and_accessors() {
+        let dag = sample_dag();
+        assert_eq!(dag.nodes().len(), 3);
+        assert_eq!(dag.num_edges(), 3);
+        assert!(dag.describe().contains("quick-sort"));
+    }
+
+    #[test]
+    fn normalized_edge_weights_sum_to_one() {
+        let dag = sample_dag();
+        let total: f64 = dag.normalized_edges().iter().map(|e| e.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topological_order_follows_node_ids() {
+        let dag = sample_dag();
+        let edges = dag.topological_edges();
+        assert!(edges.windows(2).all(|w| w[0].from <= w[1].from));
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn backward_edges_are_rejected() {
+        let mut dag = sample_dag();
+        dag.add_edge(2, 0, MotifKind::MergeSort, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn unknown_nodes_are_rejected() {
+        let mut dag = sample_dag();
+        dag.add_edge(0, 9, MotifKind::MergeSort, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_weights_are_rejected() {
+        let mut dag = sample_dag();
+        dag.add_edge(0, 1, MotifKind::MergeSort, 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Benchmark decomposing: from a workload's hotspot profile to motif
+//! components with initial weights.
+//!
+//! The paper obtains hotspot functions through runtime tracing, system
+//! profiling and hardware profiling, correlates them to code fragments and
+//! selects the corresponding data-motif implementations, with initial
+//! weights proportional to the hotspots' execution ratios (the TeraSort
+//! example: 70 % sort, 10 % sampling, 20 % graph).  The workload models in
+//! `dmpb-workloads` expose exactly that information (Table III), so the
+//! decomposition step turns it into concrete [`MotifComponent`]s.
+
+use dmpb_datagen::DataDescriptor;
+use dmpb_motifs::{MotifClass, MotifKind};
+use dmpb_workloads::workload::{Workload, WorkloadKind};
+
+/// One selected motif implementation with its share of the proxy's work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotifComponent {
+    /// The selected motif implementation.
+    pub motif: MotifKind,
+    /// The motif class it was selected for.
+    pub class: MotifClass,
+    /// Initial weight (execution ratio share), normalised across all
+    /// components of the decomposition.
+    pub weight: f64,
+}
+
+/// The result of decomposing one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Which workload was decomposed.
+    pub kind: WorkloadKind,
+    /// Selected components with initial weights.
+    pub components: Vec<MotifComponent>,
+    /// Descriptor of the original workload's input data (the proxy keeps
+    /// the same data type, distribution and sparsity).
+    pub input: DataDescriptor,
+    /// The class-level execution ratios the weights were derived from.
+    pub class_ratios: Vec<(MotifClass, f64)>,
+}
+
+impl Decomposition {
+    /// Sum of component weights (should be ~1).
+    pub fn total_weight(&self) -> f64 {
+        self.components.iter().map(|c| c.weight).sum()
+    }
+
+    /// The class with the largest execution ratio.
+    pub fn dominant_class(&self) -> Option<MotifClass> {
+        self.class_ratios
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ratios"))
+            .map(|(c, _)| *c)
+    }
+}
+
+/// Decomposes a workload into motif components with initial weights set by
+/// execution ratios.
+pub fn decompose(workload: &dyn Workload) -> Decomposition {
+    let class_ratios = workload.motif_composition();
+    let involved = workload.involved_motifs();
+
+    let mut components = Vec::new();
+    for &(class, ratio) in &class_ratios {
+        let kinds: Vec<MotifKind> = involved.iter().copied().filter(|k| k.class() == class).collect();
+        if kinds.is_empty() {
+            continue;
+        }
+        let share = ratio / kinds.len() as f64;
+        for motif in kinds {
+            components.push(MotifComponent { motif, class, weight: share });
+        }
+    }
+
+    // Normalise in case some composition classes had no selected motif.
+    let total: f64 = components.iter().map(|c| c.weight).sum();
+    if total > 0.0 {
+        for c in &mut components {
+            c.weight /= total;
+        }
+    }
+
+    Decomposition {
+        kind: workload.kind(),
+        components,
+        input: workload.input_descriptor(),
+        class_ratios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpb_workloads::all_workloads;
+
+    #[test]
+    fn every_workload_decomposes_into_normalised_components() {
+        for w in all_workloads() {
+            let d = decompose(w.as_ref());
+            assert!(!d.components.is_empty(), "{}", w.name());
+            assert!((d.total_weight() - 1.0).abs() < 1e-9, "{}", w.name());
+            assert!(d.dominant_class().is_some());
+        }
+    }
+
+    #[test]
+    fn terasort_decomposition_matches_the_paper_example() {
+        let workloads = all_workloads();
+        let terasort = workloads
+            .iter()
+            .find(|w| w.kind() == WorkloadKind::TeraSort)
+            .unwrap();
+        let d = decompose(terasort.as_ref());
+        assert_eq!(d.dominant_class(), Some(MotifClass::Sort));
+        // Sort components together carry 70 % of the weight.
+        let sort_weight: f64 = d
+            .components
+            .iter()
+            .filter(|c| c.class == MotifClass::Sort)
+            .map(|c| c.weight)
+            .sum();
+        assert!((sort_weight - 0.7).abs() < 1e-6, "sort weight {sort_weight}");
+    }
+
+    #[test]
+    fn ai_workloads_select_ai_motifs() {
+        for w in all_workloads() {
+            let d = decompose(w.as_ref());
+            if w.kind().is_ai() {
+                assert!(d.components.iter().all(|c| c.motif.is_ai()), "{}", w.name());
+            } else {
+                assert!(d.components.iter().all(|c| !c.motif.is_ai()), "{}", w.name());
+            }
+        }
+    }
+}

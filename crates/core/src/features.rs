@@ -1,0 +1,124 @@
+//! Feature selecting: the metrics to match and the initial parameter
+//! vector.
+//!
+//! "The feature selecting stage is used to choose the concerned metrics and
+//! initialize the parameters of data motifs." — the metrics default to the
+//! full Table V set (minus raw runtime, which the proxy is *supposed* to
+//! shrink), and the parameters are initialised from the original workload's
+//! configuration with the input data scaled down.
+
+use dmpb_metrics::MetricId;
+use dmpb_workloads::workload::Workload;
+use dmpb_workloads::ClusterConfig;
+
+use crate::parameters::ProxyParameters;
+
+/// How much the original input volume is scaled down for the proxy's
+/// initial `dataSize` (the auto-tuner may adjust it further).
+pub const DEFAULT_DATA_SCALE_DOWN: u64 = 512;
+
+/// The metric targets and qualification threshold of a proxy generation
+/// run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSelection {
+    /// Metrics the proxy must match.
+    pub metrics: Vec<MetricId>,
+    /// Maximum allowed relative deviation per metric (the paper uses 15 %).
+    pub deviation_threshold: f64,
+}
+
+impl FeatureSelection {
+    /// The paper's default: every Table V metric except raw runtime, with a
+    /// 15 % deviation bound.
+    pub fn paper_default() -> Self {
+        Self {
+            metrics: MetricId::TUNABLE.to_vec(),
+            deviation_threshold: 0.15,
+        }
+    }
+
+    /// A selection focused on cache behaviour only (the paper's example of
+    /// tuning towards a particular concern).
+    pub fn cache_focused() -> Self {
+        Self {
+            metrics: vec![
+                MetricId::L1iHitRatio,
+                MetricId::L1dHitRatio,
+                MetricId::L2HitRatio,
+                MetricId::L3HitRatio,
+            ],
+            deviation_threshold: 0.15,
+        }
+    }
+}
+
+impl Default for FeatureSelection {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Initialises the parameter vector **P** from the original workload's
+/// configuration: the input data set and chunk size are scaled down, and
+/// `numTasks` is initialised to the original parallelism degree.
+pub fn initial_parameters(workload: &dyn Workload, cluster: &ClusterConfig) -> ProxyParameters {
+    let input = workload.input_descriptor();
+    let data_size = (input.total_bytes / DEFAULT_DATA_SCALE_DOWN).clamp(16 << 20, 4 << 30);
+    let num_tasks = workload.tasks_per_node(cluster);
+
+    if workload.kind().is_ai() {
+        // Geometry / batch follow the original network input.
+        // The geometry follows the network's dominant interior layers (the
+        // stem downsamples the 299x299 input almost immediately), so the
+        // proxy's convolutions see representative channel counts.
+        let (batch, geometry) = match workload.kind() {
+            dmpb_workloads::WorkloadKind::InceptionV3 => (32, (35, 35, 192)),
+            _ => (128, (32, 32, 3)),
+        };
+        ProxyParameters::ai(data_size, num_tasks, batch, geometry)
+    } else {
+        ProxyParameters::big_data(data_size, num_tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpb_workloads::{all_workloads, WorkloadKind};
+
+    #[test]
+    fn paper_default_covers_all_tunable_metrics() {
+        let f = FeatureSelection::paper_default();
+        assert_eq!(f.metrics.len(), MetricId::TUNABLE.len());
+        assert!((f.deviation_threshold - 0.15).abs() < 1e-12);
+        assert!(!f.metrics.contains(&MetricId::Runtime));
+    }
+
+    #[test]
+    fn cache_focused_selection_is_a_subset() {
+        let f = FeatureSelection::cache_focused();
+        assert_eq!(f.metrics.len(), 4);
+        assert!(f.metrics.iter().all(|m| MetricId::TUNABLE.contains(m)));
+    }
+
+    #[test]
+    fn initial_parameters_scale_down_the_input() {
+        let cluster = ClusterConfig::five_node_westmere();
+        for w in all_workloads() {
+            let p = initial_parameters(w.as_ref(), &cluster);
+            assert!(p.data_size_bytes < w.input_descriptor().total_bytes);
+            assert_eq!(p.num_tasks, cluster.tasks_per_node);
+            assert_eq!(p.spill_to_disk, !w.kind().is_ai(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn ai_parameters_follow_the_network_input() {
+        let cluster = ClusterConfig::five_node_westmere();
+        let workloads = all_workloads();
+        let inception = workloads.iter().find(|w| w.kind() == WorkloadKind::InceptionV3).unwrap();
+        let p = initial_parameters(inception.as_ref(), &cluster);
+        assert_eq!(p.batch_size, 32);
+        assert_eq!(p.geometry, (35, 35, 192));
+    }
+}

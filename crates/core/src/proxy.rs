@@ -1,0 +1,492 @@
+//! The proxy benchmark itself: a DAG of weighted motifs plus a parameter
+//! vector, measurable under the performance model and executable for real.
+
+use dmpb_datagen::image::{ImageGenerator, TensorLayout, TensorShape};
+use dmpb_datagen::matrix::MatrixSpec;
+use dmpb_datagen::text::TextGenerator;
+use dmpb_datagen::DataDescriptor;
+use dmpb_metrics::MetricVector;
+use dmpb_motifs::ai::convolution::{conv2d, FilterBank, Padding};
+use dmpb_motifs::ai::pooling::{average_pool2d, max_pool2d};
+use dmpb_motifs::ai::{activation, fully_connected, normalization, reduce, regularization};
+use dmpb_motifs::bigdata::{graph_ops, logic, matrix_ops, sampling, set_ops, sort, statistics, transform};
+use dmpb_motifs::MotifKind;
+use dmpb_perfmodel::arch::ArchProfile;
+use dmpb_perfmodel::profile::OpProfile;
+use dmpb_perfmodel::ExecutionEngine;
+use dmpb_workloads::framework::jvm;
+use dmpb_workloads::WorkloadKind;
+
+use crate::dag::ProxyDag;
+use crate::decompose::{Decomposition, MotifComponent};
+use crate::parameters::ProxyParameters;
+
+/// A generated proxy benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProxyBenchmark {
+    kind: WorkloadKind,
+    components: Vec<MotifComponent>,
+    input: DataDescriptor,
+    parameters: ProxyParameters,
+}
+
+/// Result of really executing a (scaled-down) proxy on generated data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionSummary {
+    /// Number of motif kernels executed.
+    pub kernels_run: usize,
+    /// Folded checksum over all kernel outputs (stability check).
+    pub checksum: u64,
+}
+
+impl ProxyBenchmark {
+    /// Builds a proxy from a decomposition and an initial parameter vector.
+    pub fn from_decomposition(decomposition: &Decomposition, parameters: ProxyParameters) -> Self {
+        Self {
+            kind: decomposition.kind,
+            components: decomposition.components.clone(),
+            input: decomposition.input,
+            parameters,
+        }
+    }
+
+    /// Which original workload this proxy stands in for.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// The proxy's name (e.g. "Proxy TeraSort").
+    pub fn name(&self) -> &'static str {
+        self.kind.proxy_name()
+    }
+
+    /// The motif components and their weights.
+    pub fn components(&self) -> &[MotifComponent] {
+        &self.components
+    }
+
+    /// The current parameter vector.
+    pub fn parameters(&self) -> ProxyParameters {
+        self.parameters
+    }
+
+    /// Returns a copy with a different parameter vector (used by the
+    /// auto-tuner's adjusting stage).
+    pub fn with_parameters(&self, parameters: ProxyParameters) -> Self {
+        Self { parameters, ..self.clone() }
+    }
+
+    /// Returns a copy driven by a different input data set (same motifs and
+    /// parameters) — the Fig. 8 experiment drives one Proxy K-means with
+    /// both sparse and dense inputs.
+    pub fn with_input(&self, input: DataDescriptor) -> Self {
+        Self { input, ..self.clone() }
+    }
+
+    /// Descriptor of the data the proxy processes (the original input
+    /// scaled down to the proxy's `dataSize`, keeping type, distribution
+    /// and sparsity).
+    pub fn proxy_input(&self) -> DataDescriptor {
+        self.input.scaled_to(self.parameters.data_size_bytes)
+    }
+
+    /// Effective component weights after applying the weight-skew
+    /// parameter: the dominant component is scaled by the skew and the
+    /// result renormalised.
+    pub fn effective_weights(&self) -> Vec<(MotifKind, f64)> {
+        if self.components.is_empty() {
+            return Vec::new();
+        }
+        let dominant = self
+            .components
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.weight.partial_cmp(&b.1.weight).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let mut weights: Vec<(MotifKind, f64)> = self
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let w = if i == dominant { c.weight * self.parameters.weight_skew } else { c.weight };
+                (c.motif, w)
+            })
+            .collect();
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        for (_, w) in &mut weights {
+            *w /= total;
+        }
+        weights
+    }
+
+    /// The DAG-like structure of the proxy: the input node, one
+    /// intermediate node per motif edge and a final output node.
+    pub fn dag(&self) -> ProxyDag {
+        let mut dag = ProxyDag::new();
+        let input = dag.add_node("input", self.proxy_input());
+        let weights = self.effective_weights();
+        let mut previous = input;
+        for (i, (motif, weight)) in weights.iter().enumerate() {
+            let node = dag.add_node(
+                format!("stage-{}", i + 1),
+                self.proxy_input().scaled_to((self.parameters.data_size_bytes / 2).max(1)),
+            );
+            dag.add_edge(previous, node, *motif, *weight);
+            previous = node;
+        }
+        dag
+    }
+
+    /// The operation profile of the proxy: every component's cost model
+    /// over the scaled-down input, rescaled so each component contributes
+    /// its weight of the total work, plus the software-stack-emulation
+    /// component (the unified memory-management module of the paper's motif
+    /// implementations).
+    pub fn profile(&self) -> OpProfile {
+        let data = self.proxy_input();
+        let config = self.parameters.motif_config();
+        let weights = self.effective_weights();
+
+        // Raw cost of each motif over the full proxy input.
+        let raw: Vec<(f64, OpProfile)> = weights
+            .iter()
+            .map(|(motif, weight)| (*weight, motif.cost_profile(&data, &config)))
+            .collect();
+        let total_raw: f64 = raw.iter().map(|(_, p)| p.total_instructions() as f64).sum();
+
+        // Rescale each component so its instruction share equals its weight.
+        let mut merged: Option<OpProfile> = None;
+        for (weight, profile) in raw {
+            let share = profile.total_instructions() as f64 / total_raw.max(1.0);
+            let scaled = profile.scaled((weight / share.max(1e-9)).max(1e-6));
+            merged = Some(match merged {
+                None => scaled,
+                Some(acc) => acc.merge(&scaled),
+            });
+        }
+        let mut user = merged.expect("proxy has at least one component");
+
+        // Software-stack emulation (GC-like memory management) component.
+        if self.parameters.framework_weight > 0.0 {
+            let fw_fraction = self.parameters.framework_weight.min(0.9);
+            let user_instr = user.total_instructions() as f64;
+            let fw_bytes =
+                (user_instr * fw_fraction / (1.0 - fw_fraction) / jvm::JVM_INSTRUCTIONS_PER_BYTE) as u64;
+            let mut overhead = jvm::jvm_overhead_profile(fw_bytes.max(1 << 20), 1 << 30);
+            overhead.name = "stack-emulation".to_string();
+            // The proxy's memory-management module is a light-weight
+            // reimplementation, not a full JVM: far smaller code footprint.
+            overhead.code_footprint_bytes = 256 * 1024;
+            user = user.merge(&overhead);
+        }
+
+        // Disk traffic of a proxy-scale run: the input is read once and the
+        // dominant spill path writes a fraction of it back; at these sizes
+        // most intermediate data is absorbed by the page cache, so only a
+        // fraction of the logical spill reaches the device.  AI proxies
+        // only stream a small input sample.
+        let data_bytes = self.parameters.data_size_bytes;
+        if self.parameters.spill_to_disk {
+            user.disk_read_bytes = (data_bytes as f64 * 0.25) as u64;
+            user.disk_write_bytes = (data_bytes as f64 * 0.15) as u64;
+        } else {
+            user.disk_read_bytes = data_bytes / 400;
+            user.disk_write_bytes = 0;
+        }
+
+        user.name = self.name().to_string();
+        user.parallel_fraction = user.parallel_fraction.min(0.96);
+        user
+    }
+
+    /// Measures the proxy on one node of `arch` using the shared
+    /// performance-model instrument.
+    pub fn measure(&self, arch: &ArchProfile) -> MetricVector {
+        ExecutionEngine::new(*arch).run(&self.profile(), self.parameters.num_tasks)
+    }
+
+    /// Really executes a scaled-down version of every motif kernel in the
+    /// proxy on freshly generated data, returning a checksum.  This is the
+    /// "runs on a real machine" face of the proxy, used by the examples and
+    /// the Criterion benches; `elements` bounds the per-kernel input size.
+    pub fn execute_sample(&self, elements: usize, seed: u64) -> ExecutionSummary {
+        let mut checksum = 0u64;
+        let weights = self.effective_weights();
+        for (i, (motif, weight)) in weights.iter().enumerate() {
+            let n = ((elements as f64 * weight).ceil() as usize).max(16);
+            checksum ^= run_sample_kernel(*motif, n, seed.wrapping_add(i as u64)).rotate_left(i as u32);
+        }
+        ExecutionSummary { kernels_run: weights.len(), checksum }
+    }
+}
+
+fn hash_f64s<I: IntoIterator<Item = f64>>(values: I) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        h ^= v.to_bits();
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs one real motif kernel on `n` generated elements and folds the
+/// result into a checksum.
+fn run_sample_kernel(motif: MotifKind, n: usize, seed: u64) -> u64 {
+    use MotifKind::*;
+    match motif {
+        QuickSort => {
+            let mut keys = TextGenerator::new(seed).generate(n).keys();
+            sort::quick_sort(&mut keys);
+            hash_bytes(&keys[0])
+        }
+        MergeSort => {
+            let keys = TextGenerator::new(seed).generate(n).keys();
+            let sorted = sort::merge_sort(&keys);
+            hash_bytes(&sorted[sorted.len() / 2])
+        }
+        RandomSampling => sampling::random_sample_indices(n, 0.1, seed).len() as u64,
+        IntervalSampling => sampling::interval_sample_indices(n, 10, 0).len() as u64,
+        SetUnion | SetIntersection | SetDifference => {
+            let a: Vec<u64> = (0..n as u64).map(|i| i * 3 % (n as u64)).collect();
+            let b: Vec<u64> = (0..n as u64).map(|i| i * 7 % (n as u64)).collect();
+            let (a, b) = (set_ops::normalize(&a), set_ops::normalize(&b));
+            let out = match motif {
+                SetUnion => set_ops::union(&a, &b),
+                SetIntersection => set_ops::intersection(&a, &b),
+                _ => set_ops::difference(&a, &b),
+            };
+            out.len() as u64
+        }
+        GraphConstruct | GraphTraversal => {
+            let vertices = n.max(8);
+            let edges: Vec<(u32, u32)> = (0..vertices * 4)
+                .map(|i| ((i % vertices) as u32, ((i * 31 + 7) % vertices) as u32))
+                .collect();
+            let graph = graph_ops::construct(vertices, &edges);
+            if motif == GraphTraversal {
+                graph_ops::traversal_reach(&graph, 0) as u64
+            } else {
+                graph.num_edges() as u64
+            }
+        }
+        CountStatistics | MinMax | ProbabilityStatistics => {
+            let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            match motif {
+                CountStatistics => hash_f64s([statistics::count_average(&values).1]),
+                MinMax => {
+                    let (min, max) = statistics::min_max(&values).unwrap_or((0.0, 0.0));
+                    hash_f64s([min, max])
+                }
+                _ => {
+                    let keys: Vec<u32> = (0..n).map(|i| (i % 17) as u32).collect();
+                    statistics::probabilities(&keys).len() as u64
+                }
+            }
+        }
+        Md5Hash => {
+            let data = TextGenerator::new(seed).generate(n.min(512));
+            hash_bytes(&logic::md5(data.as_bytes()))
+        }
+        Encryption => {
+            let data = TextGenerator::new(seed).generate(n.min(512));
+            hash_bytes(&logic::xor_encrypt(data.as_bytes(), seed | 1))
+        }
+        Fft | Ifft => {
+            let len = n.next_power_of_two().clamp(64, 4096);
+            let signal: Vec<f64> = (0..len).map(|i| (i as f64 * 0.11).cos()).collect();
+            let spectrum = transform::fft_real(&signal);
+            if motif == Ifft {
+                hash_f64s(transform::ifft_real(&spectrum))
+            } else {
+                hash_f64s(spectrum.into_iter().map(|(re, _)| re))
+            }
+        }
+        Dct => hash_f64s(transform::dct2(
+            &(0..n.min(256)).map(|i| (i as f64 * 0.21).sin()).collect::<Vec<_>>(),
+        )),
+        DistanceCalculation => {
+            let dim = 32;
+            let a: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.3).sin()).collect();
+            let b: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.7).cos()).collect();
+            hash_f64s([matrix_ops::euclidean_distance(&a, &b), matrix_ops::cosine_distance(&a, &b)])
+        }
+        MatrixMultiply => {
+            let size = (n as f64).sqrt().ceil().clamp(4.0, 64.0) as usize;
+            let a = MatrixSpec::dense(size, size, seed).generate_dense();
+            let b = MatrixSpec::dense(size, size, seed ^ 1).generate_dense();
+            hash_f64s([matrix_ops::matrix_multiply(&a, &b).frobenius_norm()])
+        }
+        // --- AI kernels --------------------------------------------------
+        Convolution => {
+            let t = ImageGenerator::new(seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
+            let filters = FilterBank::constant(4, 3, 3, 0.1);
+            hash_f64s(
+                conv2d(&t, &filters, 1, Padding::Same)
+                    .as_slice()
+                    .iter()
+                    .map(|&v| f64::from(v)),
+            )
+        }
+        MaxPooling | AveragePooling => {
+            let t = ImageGenerator::new(seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
+            let out = if motif == MaxPooling { max_pool2d(&t, 2, 2) } else { average_pool2d(&t, 2, 2) };
+            hash_f64s(out.as_slice().iter().map(|&v| f64::from(v)))
+        }
+        FullyConnected => {
+            let input: Vec<f32> = (0..64).map(|i| i as f32 * 0.01).collect();
+            let weights: Vec<f32> = (0..64 * 8).map(|i| (i % 7) as f32 * 0.1).collect();
+            let out = fully_connected::fully_connected(&input, &weights, &[0.0; 8], 1, 64, 8);
+            hash_f64s(out.into_iter().map(f64::from))
+        }
+        ElementWiseMultiply => {
+            let a: Vec<f32> = (0..n.min(1024)).map(|i| i as f32 * 0.5).collect();
+            hash_f64s(
+                fully_connected::element_wise_multiply(&a, &a)
+                    .into_iter()
+                    .map(f64::from),
+            )
+        }
+        Sigmoid | Tanh | Relu | Softmax => {
+            let x: Vec<f32> = (0..n.min(1024)).map(|i| (i as f32 - 512.0) * 0.01).collect();
+            let out = match motif {
+                Sigmoid => activation::sigmoid(&x),
+                Tanh => activation::tanh(&x),
+                Relu => activation::relu(&x),
+                _ => activation::softmax(&x, x.len().max(1)),
+            };
+            hash_f64s(out.into_iter().map(f64::from))
+        }
+        Dropout => {
+            let x = vec![1.0f32; n.min(1024)];
+            hash_f64s(regularization::dropout(&x, 0.5, seed).into_iter().map(f64::from))
+        }
+        BatchNormalization | CosineNormalization => {
+            let x: Vec<f32> = (0..n.min(1024)).map(|i| i as f32 * 0.3).collect();
+            hash_f64s(normalization::cosine_normalize(&x).into_iter().map(f64::from))
+        }
+        ReduceSum => hash_f64s([f64::from(reduce::reduce_sum(
+            &(0..n.min(4096)).map(|i| i as f32).collect::<Vec<_>>(),
+        ))]),
+        ReduceMax => hash_f64s([f64::from(
+            reduce::reduce_max(&(0..n.min(4096)).map(|i| i as f32).collect::<Vec<_>>()).unwrap_or(0.0),
+        )]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose;
+    use crate::features::initial_parameters;
+    use dmpb_workloads::{all_workloads, ClusterConfig};
+
+    fn proxies() -> Vec<ProxyBenchmark> {
+        let cluster = ClusterConfig::five_node_westmere();
+        all_workloads()
+            .iter()
+            .map(|w| {
+                let d = decompose(w.as_ref());
+                let p = initial_parameters(w.as_ref(), &cluster);
+                ProxyBenchmark::from_decomposition(&d, p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn effective_weights_are_normalised_for_every_proxy() {
+        for proxy in proxies() {
+            let total: f64 = proxy.effective_weights().iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}", proxy.name());
+        }
+    }
+
+    #[test]
+    fn weight_skew_emphasises_the_dominant_component() {
+        let proxy = &proxies()[0]; // TeraSort
+        let neutral = proxy.effective_weights();
+        let mut params = proxy.parameters();
+        params.weight_skew = 1.1;
+        let skewed = proxy.with_parameters(params).effective_weights();
+        let dominant = neutral
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .unwrap()
+            .0;
+        assert!(skewed[dominant].1 > neutral[dominant].1);
+    }
+
+    #[test]
+    fn dag_has_one_edge_per_component() {
+        for proxy in proxies() {
+            let dag = proxy.dag();
+            assert_eq!(dag.num_edges(), proxy.components().len());
+            assert!(!dag.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn profile_and_measurement_are_sane_for_every_proxy() {
+        let arch = dmpb_perfmodel::ArchProfile::westmere_e5645();
+        for proxy in proxies() {
+            let profile = proxy.profile();
+            assert!(profile.total_instructions() > 0, "{}", proxy.name());
+            let metrics = proxy.measure(&arch);
+            assert!(metrics.is_finite());
+            assert!(metrics.runtime_secs > 0.0);
+            assert!(
+                metrics.runtime_secs < 600.0,
+                "{} proxy runtime {} is not proxy-fast",
+                proxy.name(),
+                metrics.runtime_secs
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_data_size_means_more_work() {
+        let proxy = &proxies()[0];
+        let small = proxy.profile().total_instructions();
+        let mut params = proxy.parameters();
+        params.data_size_bytes *= 4;
+        let large = proxy.with_parameters(params).profile().total_instructions();
+        assert!(large > 2 * small);
+    }
+
+    #[test]
+    fn execute_sample_is_deterministic_and_runs_every_kernel() {
+        for proxy in proxies() {
+            let a = proxy.execute_sample(256, 7);
+            let b = proxy.execute_sample(256, 7);
+            assert_eq!(a, b, "{}", proxy.name());
+            assert_eq!(a.kernels_run, proxy.components().len());
+        }
+    }
+
+    #[test]
+    fn every_motif_kind_has_a_runnable_sample_kernel() {
+        for kind in MotifKind::ALL {
+            let checksum = run_sample_kernel(kind, 128, 3);
+            // Re-running with the same seed must be stable.
+            assert_eq!(checksum, run_sample_kernel(kind, 128, 3), "{kind}");
+        }
+    }
+
+    #[test]
+    fn with_input_changes_only_the_data() {
+        let proxy = proxies().remove(1); // K-means
+        let dense = proxy.with_input(proxy.proxy_input().with_sparsity(0.0));
+        assert_eq!(dense.parameters(), proxy.parameters());
+        assert_eq!(dense.proxy_input().sparsity, 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Small statistics helpers used by the harness and the auto-tuner.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean of strictly positive values; `None` if the slice is empty
+/// or any value is non-positive.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Coefficient of variation (std dev / mean); `None` for an empty slice or
+/// a zero mean.
+pub fn coefficient_of_variation(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    if m == 0.0 {
+        return None;
+    }
+    Some(std_dev(values)? / m)
+}
+
+/// Relative change `(new - old) / old`; `None` when `old` is zero.
+pub fn relative_change(old: f64, new: f64) -> Option<f64> {
+    if old == 0.0 {
+        None
+    } else {
+        Some((new - old) / old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn geomean_of_values() {
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), Some(0.0));
+    }
+
+    #[test]
+    fn std_dev_matches_hand_computation() {
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_handles_degenerate_input() {
+        assert_eq!(coefficient_of_variation(&[]), None);
+        assert_eq!(coefficient_of_variation(&[0.0, 0.0]), None);
+        assert!(coefficient_of_variation(&[1.0, 1.0]).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn relative_change_matches_definition() {
+        assert_eq!(relative_change(10.0, 15.0), Some(0.5));
+        assert_eq!(relative_change(0.0, 15.0), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Logic motif: bit-manipulation kernels — MD5 hashing and stream
+//! encryption.
+//!
+//! MD5 is implemented in full (RFC 1321) and checked against the reference
+//! test vectors; the encryption kernel is a simple XOR keystream cipher,
+//! which exercises the same byte-granular bit manipulation pattern as the
+//! paper's "encryption" implementation without pulling in a crypto
+//! dependency.
+
+/// Computes the MD5 digest of `data`.
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    // Per-round shift amounts.
+    const S: [u32; 64] = [
+        7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 5, 9, 14, 20, 5, 9, 14, 20, 5,
+        9, 14, 20, 5, 9, 14, 20, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 6,
+        10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+    ];
+    // Binary integer parts of sines (RFC 1321 table T).
+    const K: [u32; 64] = [
+        0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+        0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+        0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+        0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+        0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+        0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+        0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+        0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+        0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+        0xeb86d391,
+    ];
+
+    let mut a0: u32 = 0x6745_2301;
+    let mut b0: u32 = 0xefcd_ab89;
+    let mut c0: u32 = 0x98ba_dcfe;
+    let mut d0: u32 = 0x1032_5476;
+
+    // Padding: append 0x80, zeros, then the 64-bit little-endian bit length.
+    let mut message = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    message.push(0x80);
+    while message.len() % 64 != 56 {
+        message.push(0);
+    }
+    message.extend_from_slice(&bit_len.to_le_bytes());
+
+    for chunk in message.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i {
+                0..=15 => ((b & c) | (!b & d), i),
+                16..=31 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let rotated = a
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]);
+            b = b.wrapping_add(rotated);
+            a = tmp;
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+
+    let mut digest = [0u8; 16];
+    digest[0..4].copy_from_slice(&a0.to_le_bytes());
+    digest[4..8].copy_from_slice(&b0.to_le_bytes());
+    digest[8..12].copy_from_slice(&c0.to_le_bytes());
+    digest[12..16].copy_from_slice(&d0.to_le_bytes());
+    digest
+}
+
+/// Formats a digest as the conventional lower-case hex string.
+pub fn digest_to_hex(digest: &[u8; 16]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// XOR keystream "encryption": a xorshift keystream derived from `key` is
+/// XORed over the data.  Applying it twice with the same key restores the
+/// plaintext.
+pub fn xor_encrypt(data: &[u8], key: u64) -> Vec<u8> {
+    let mut state = key | 1;
+    data.iter()
+        .map(|&b| {
+            // xorshift64
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            b ^ (state as u8)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md5_reference_vectors() {
+        // RFC 1321 test suite.
+        assert_eq!(digest_to_hex(&md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(digest_to_hex(&md5(b"a")), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(digest_to_hex(&md5(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(
+            digest_to_hex(&md5(b"message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
+        assert_eq!(
+            digest_to_hex(&md5(b"abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+    }
+
+    #[test]
+    fn md5_handles_block_boundaries() {
+        // 55, 56 and 64 byte messages cross the padding boundaries.
+        for len in [55usize, 56, 63, 64, 65, 128] {
+            let data = vec![b'x'; len];
+            let d = md5(&data);
+            assert_eq!(d.len(), 16);
+            // Hash must differ from the empty-input hash.
+            assert_ne!(digest_to_hex(&d), "d41d8cd98f00b204e9800998ecf8427e");
+        }
+    }
+
+    #[test]
+    fn xor_encrypt_round_trips() {
+        let plain = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let cipher = xor_encrypt(&plain, 0xDEADBEEF);
+        assert_ne!(cipher, plain);
+        assert_eq!(xor_encrypt(&cipher, 0xDEADBEEF), plain);
+    }
+
+    #[test]
+    fn xor_encrypt_different_keys_differ() {
+        let plain = vec![0u8; 64];
+        assert_ne!(xor_encrypt(&plain, 1), xor_encrypt(&plain, 2));
+    }
+}

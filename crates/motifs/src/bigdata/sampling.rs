@@ -1,0 +1,119 @@
+//! Sampling motif: random sampling and interval (systematic) sampling.
+//!
+//! TeraSort uses sampling to compute its partition boundaries; the motif
+//! implementations select a subset of records either uniformly at random or
+//! at a fixed interval.
+
+use rand::Rng;
+
+use dmpb_datagen::rng::seeded_rng;
+
+/// Selects each index in `0..count` independently with probability
+/// `fraction`, deterministically for a given seed.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn random_sample_indices(count: usize, fraction: f64, seed: u64) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
+    let mut rng = seeded_rng(seed);
+    (0..count).filter(|_| rng.gen::<f64>() < fraction).collect()
+}
+
+/// Selects every `interval`-th index starting at `offset`.
+///
+/// # Panics
+///
+/// Panics if `interval` is zero.
+pub fn interval_sample_indices(count: usize, interval: usize, offset: usize) -> Vec<usize> {
+    assert!(interval > 0, "interval must be non-zero");
+    (offset..count).step_by(interval).collect()
+}
+
+/// Random sampling of items (by value).
+pub fn random_sample<T: Clone>(items: &[T], fraction: f64, seed: u64) -> Vec<T> {
+    random_sample_indices(items.len(), fraction, seed)
+        .into_iter()
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+/// Interval sampling of items (by value).
+pub fn interval_sample<T: Clone>(items: &[T], interval: usize) -> Vec<T> {
+    interval_sample_indices(items.len(), interval, 0)
+        .into_iter()
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+/// Chooses `num_partitions - 1` splitter values from a sorted sample, the
+/// way TeraSort derives its reducer partition boundaries.
+///
+/// Returns an empty vector when fewer than two partitions are requested.
+pub fn choose_splitters<T: Clone + Ord>(sorted_sample: &[T], num_partitions: usize) -> Vec<T> {
+    if num_partitions < 2 || sorted_sample.is_empty() {
+        return Vec::new();
+    }
+    (1..num_partitions)
+        .map(|i| {
+            let idx = i * sorted_sample.len() / num_partitions;
+            sorted_sample[idx.min(sorted_sample.len() - 1)].clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sample_hits_requested_fraction() {
+        let idx = random_sample_indices(100_000, 0.1, 42);
+        let ratio = idx.len() as f64 / 100_000.0;
+        assert!((ratio - 0.1).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn random_sample_is_deterministic_and_sorted() {
+        let a = random_sample_indices(10_000, 0.05, 7);
+        let b = random_sample_indices(10_000, 0.05, 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        assert!(random_sample_indices(100, 0.0, 1).is_empty());
+        assert_eq!(random_sample_indices(100, 1.0, 1).len(), 100);
+    }
+
+    #[test]
+    fn interval_sampling_takes_every_nth() {
+        assert_eq!(interval_sample_indices(10, 3, 0), vec![0, 3, 6, 9]);
+        assert_eq!(interval_sample_indices(10, 3, 1), vec![1, 4, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_is_rejected() {
+        let _ = interval_sample_indices(10, 0, 0);
+    }
+
+    #[test]
+    fn sampling_by_value() {
+        let items: Vec<u32> = (0..100).collect();
+        let every_tenth = interval_sample(&items, 10);
+        assert_eq!(every_tenth, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        let random = random_sample(&items, 0.2, 3);
+        assert!(random.iter().all(|v| items.contains(v)));
+    }
+
+    #[test]
+    fn splitters_divide_the_key_space() {
+        let sample: Vec<u32> = (0..1000).collect();
+        let splitters = choose_splitters(&sample, 4);
+        assert_eq!(splitters, vec![250, 500, 750]);
+        assert!(choose_splitters(&sample, 1).is_empty());
+        assert!(choose_splitters::<u32>(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Set motif: union, intersection and difference over collections of
+//! distinct values — the primitive operators of relational algebra the
+//! paper cites.
+//!
+//! The kernels operate on sorted, deduplicated slices and produce sorted,
+//! deduplicated results, the representation a shuffle-and-merge big-data
+//! engine would use.
+
+/// Sorts and deduplicates a collection into canonical set form.
+pub fn normalize(values: &[u64]) -> Vec<u64> {
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Union of two canonical sets.
+pub fn union(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(is_canonical(a) && is_canonical(b));
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Intersection of two canonical sets.
+pub fn intersection(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(is_canonical(a) && is_canonical(b));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Difference `a \ b` of two canonical sets.
+pub fn difference(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(is_canonical(a) && is_canonical(b));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        if j >= b.len() || a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else if a[i] > b[j] {
+            j += 1;
+        } else {
+            i += 1;
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Returns true if `values` is sorted and deduplicated.
+pub fn is_canonical(values: &[u64]) -> bool {
+    values.windows(2).all(|w| w[0] < w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn set_a() -> Vec<u64> {
+        normalize(&[5, 1, 9, 3, 7, 5, 1])
+    }
+
+    fn set_b() -> Vec<u64> {
+        normalize(&[2, 3, 5, 8])
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        assert_eq!(set_a(), vec![1, 3, 5, 7, 9]);
+        assert!(is_canonical(&set_a()));
+    }
+
+    #[test]
+    fn union_matches_btreeset() {
+        let expected: Vec<u64> = set_a()
+            .into_iter()
+            .collect::<BTreeSet<_>>()
+            .union(&set_b().into_iter().collect())
+            .copied()
+            .collect();
+        assert_eq!(union(&set_a(), &set_b()), expected);
+    }
+
+    #[test]
+    fn intersection_matches_btreeset() {
+        let expected: Vec<u64> = set_a()
+            .into_iter()
+            .collect::<BTreeSet<_>>()
+            .intersection(&set_b().into_iter().collect())
+            .copied()
+            .collect();
+        assert_eq!(intersection(&set_a(), &set_b()), expected);
+    }
+
+    #[test]
+    fn difference_matches_btreeset() {
+        let expected: Vec<u64> = set_a()
+            .into_iter()
+            .collect::<BTreeSet<_>>()
+            .difference(&set_b().into_iter().collect())
+            .copied()
+            .collect();
+        assert_eq!(difference(&set_a(), &set_b()), expected);
+    }
+
+    #[test]
+    fn operations_with_empty_sets() {
+        let a = set_a();
+        assert_eq!(union(&a, &[]), a);
+        assert_eq!(intersection(&a, &[]), Vec::<u64>::new());
+        assert_eq!(difference(&a, &[]), a);
+        assert_eq!(difference(&[], &a), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn algebraic_identities_hold() {
+        let a = set_a();
+        let b = set_b();
+        // |A ∪ B| = |A| + |B| - |A ∩ B|
+        assert_eq!(
+            union(&a, &b).len(),
+            a.len() + b.len() - intersection(&a, &b).len()
+        );
+        // (A \ B) ∪ (A ∩ B) = A
+        assert_eq!(union(&difference(&a, &b), &intersection(&a, &b)), a);
+    }
+}

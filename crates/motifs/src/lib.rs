@@ -1,0 +1,45 @@
+//! # dmpb-motifs — the eight data motifs
+//!
+//! The paper builds its proxy benchmarks out of **data motifs**: the most
+//! time-consuming units of computation performed on initial or intermediate
+//! data, identified in earlier work as eight classes — Matrix, Sampling,
+//! Transform, Graph, Logic, Set, Sort and Statistics.  Each class has
+//! several concrete light-weight implementations (Fig. 2 of the paper),
+//! split into **big-data motif implementations** (quick/merge sort,
+//! random/interval sampling, set algebra, graph construction and traversal,
+//! MD5 and stream encryption, FFT/IFFT/DCT, distance computation and matrix
+//! multiplication, count/probability/min-max statistics) and **AI data
+//! motif implementations** (fully connected layers, element-wise ops and
+//! activations, max/average pooling, convolution, dropout, batch and cosine
+//! normalisation, ReLU, reductions).
+//!
+//! Every implementation in this crate has two faces:
+//!
+//! * a **real kernel** — a plain Rust function that actually computes
+//!   (sorts, convolves, hashes…), used by the Criterion benches, the
+//!   examples and the correctness tests; and
+//! * a **cost model** — [`MotifKind::cost_profile`], which maps an input
+//!   [`dmpb_datagen::DataDescriptor`] and a [`MotifConfig`] to the
+//!   [`dmpb_perfmodel::OpProfile`] consumed by the shared performance-model
+//!   instrument.  This is how motifs are measured at the paper's scale
+//!   (100 GB inputs) without materialising the data.
+//!
+//! The big-data implementations follow the paper's description of the
+//! execution model: input is split into chunks, each chunk is handed to a
+//! worker task ([`threading`]), and allocation goes through a unified
+//! memory-management module with GC-like collection pauses ([`memory`]),
+//! mirroring the JVM behaviour of Hadoop workloads.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ai;
+pub mod bigdata;
+pub mod class;
+pub mod config;
+pub mod cost;
+pub mod memory;
+pub mod threading;
+
+pub use class::{MotifClass, MotifKind};
+pub use config::MotifConfig;

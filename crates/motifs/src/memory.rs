@@ -1,0 +1,213 @@
+//! Unified memory-management module for the big-data motifs.
+//!
+//! The paper notes that big-data systems like Hadoop run on the JVM, whose
+//! automatic memory management (garbage collection) is a visible part of
+//! workload behaviour, and that the big-data motif implementations
+//! therefore include "a unified memory management module, whose mechanism
+//! is similar with GC".  [`ManagedArena`] reproduces that: allocations are
+//! tracked against a budget, and when the live size crosses a threshold a
+//! *collection* happens — dead buffers are dropped and a pause is recorded.
+//! The collection statistics feed the workload models' JVM overhead
+//! profile, and the arena is used by the big-data kernels for their
+//! intermediate buffers.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Statistics of one arena's allocation and collection activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total bytes ever allocated.
+    pub allocated_bytes: u64,
+    /// Number of allocations served.
+    pub allocations: u64,
+    /// Number of collections triggered.
+    pub collections: u64,
+    /// Total bytes reclaimed by collections.
+    pub reclaimed_bytes: u64,
+}
+
+/// A GC-like managed allocation arena.
+///
+/// Buffers are handed out as plain `Vec<u8>` handles tagged with an id;
+/// dropping the handle marks the buffer dead, and the next allocation that
+/// pushes the live size over the threshold triggers a collection that
+/// reclaims dead space.  The arena is `Clone` + thread-safe so chunked
+/// worker tasks can share it, mirroring a shared JVM heap.
+#[derive(Debug, Clone)]
+pub struct ManagedArena {
+    inner: Arc<Mutex<ArenaInner>>,
+}
+
+#[derive(Debug)]
+struct ArenaInner {
+    threshold_bytes: u64,
+    live_bytes: u64,
+    dead_bytes: u64,
+    stats: ArenaStats,
+}
+
+/// A buffer allocated from a [`ManagedArena`].  Dropping it marks the bytes
+/// as dead (reclaimable by the next collection).
+#[derive(Debug)]
+pub struct ManagedBuffer {
+    data: Vec<u8>,
+    arena: ManagedArena,
+}
+
+impl ManagedBuffer {
+    /// The buffer contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the buffer contents.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns true if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Drop for ManagedBuffer {
+    fn drop(&mut self) {
+        self.arena.mark_dead(self.data.len() as u64);
+    }
+}
+
+impl ManagedArena {
+    /// Creates an arena that collects when live + dead bytes exceed
+    /// `threshold_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is zero.
+    pub fn new(threshold_bytes: u64) -> Self {
+        assert!(threshold_bytes > 0, "collection threshold must be non-zero");
+        Self {
+            inner: Arc::new(Mutex::new(ArenaInner {
+                threshold_bytes,
+                live_bytes: 0,
+                dead_bytes: 0,
+                stats: ArenaStats::default(),
+            })),
+        }
+    }
+
+    /// Allocates a zeroed buffer of `len` bytes, possibly triggering a
+    /// collection first.
+    pub fn allocate(&self, len: usize) -> ManagedBuffer {
+        {
+            let mut inner = self.inner.lock();
+            inner.stats.allocations += 1;
+            inner.stats.allocated_bytes += len as u64;
+            if inner.live_bytes + inner.dead_bytes + len as u64 > inner.threshold_bytes {
+                // "Collection": reclaim everything dead, count the pause.
+                inner.stats.collections += 1;
+                inner.stats.reclaimed_bytes += inner.dead_bytes;
+                inner.dead_bytes = 0;
+            }
+            inner.live_bytes += len as u64;
+        }
+        ManagedBuffer {
+            data: vec![0u8; len],
+            arena: self.clone(),
+        }
+    }
+
+    fn mark_dead(&self, len: u64) {
+        let mut inner = self.inner.lock();
+        inner.live_bytes = inner.live_bytes.saturating_sub(len);
+        inner.dead_bytes += len;
+    }
+
+    /// Live (reachable) bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.inner.lock().live_bytes
+    }
+
+    /// Snapshot of the allocation / collection statistics.
+    pub fn stats(&self) -> ArenaStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_tracks_live_bytes() {
+        let arena = ManagedArena::new(1 << 20);
+        let a = arena.allocate(1000);
+        let b = arena.allocate(500);
+        assert_eq!(arena.live_bytes(), 1500);
+        drop(a);
+        assert_eq!(arena.live_bytes(), 500);
+        drop(b);
+        assert_eq!(arena.live_bytes(), 0);
+    }
+
+    #[test]
+    fn collection_triggers_when_threshold_exceeded() {
+        let arena = ManagedArena::new(10_000);
+        for _ in 0..100 {
+            let buf = arena.allocate(1_000);
+            drop(buf);
+        }
+        let stats = arena.stats();
+        assert!(stats.collections > 0, "no collections happened");
+        assert!(stats.reclaimed_bytes > 0);
+        assert_eq!(stats.allocations, 100);
+        assert_eq!(stats.allocated_bytes, 100_000);
+    }
+
+    #[test]
+    fn no_collection_under_threshold() {
+        let arena = ManagedArena::new(1 << 30);
+        let _keep: Vec<ManagedBuffer> = (0..10).map(|_| arena.allocate(100)).collect();
+        assert_eq!(arena.stats().collections, 0);
+    }
+
+    #[test]
+    fn buffers_are_usable_memory() {
+        let arena = ManagedArena::new(1 << 20);
+        let mut buf = arena.allocate(64);
+        buf.as_mut_slice()[0] = 42;
+        assert_eq!(buf.as_slice()[0], 42);
+        assert_eq!(buf.len(), 64);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn arena_is_shareable_across_threads() {
+        let arena = ManagedArena::new(1 << 16);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let arena = arena.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let b = arena.allocate(512);
+                        drop(b);
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.stats().allocations, 400);
+        assert_eq!(arena.live_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_threshold_is_rejected() {
+        let _ = ManagedArena::new(0);
+    }
+}

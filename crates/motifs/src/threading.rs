@@ -1,0 +1,132 @@
+//! Chunked multi-threaded execution of motif kernels.
+//!
+//! The paper's big-data motif implementations use the POSIX-threads model:
+//! input data is partitioned, each thread processes its chunk, intermediate
+//! results may be written to disk, and a final step combines the partial
+//! results.  [`ChunkedExecutor`] reproduces that shape with scoped threads:
+//! the caller supplies a per-chunk map function and a combine function.
+
+use crossbeam::thread as cb_thread;
+
+/// Runs `map` over equal chunks of `items` on `num_tasks` worker threads
+/// and folds the per-chunk results with `combine`.
+///
+/// Chunks are assigned contiguously, mirroring how the motif
+/// implementations partition their input ("input data partition, chunk data
+/// allocation per thread").  The fold order is deterministic (chunk order),
+/// so `combine` need not be commutative.
+///
+/// Returns `None` if `items` is empty.
+///
+/// # Panics
+///
+/// Panics if `num_tasks` is zero or a worker thread panics.
+pub fn map_chunks<T, R, M, C>(
+    items: &[T],
+    num_tasks: usize,
+    map: M,
+    combine: C,
+) -> Option<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn(usize, &[T]) -> R + Sync,
+    C: Fn(R, R) -> R,
+{
+    assert!(num_tasks > 0, "at least one task is required");
+    if items.is_empty() {
+        return None;
+    }
+    let num_tasks = num_tasks.min(items.len());
+    let chunk_len = items.len().div_ceil(num_tasks);
+
+    let results: Vec<R> = cb_thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_tasks);
+        for (index, chunk) in items.chunks(chunk_len).enumerate() {
+            let map = &map;
+            handles.push(scope.spawn(move |_| map(index, chunk)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+
+    results.into_iter().reduce(combine)
+}
+
+/// Splits `total_items` into per-task chunk sizes of at most
+/// `chunk_items`, the decomposition used by the cost models to reason
+/// about task counts.
+pub fn chunk_counts(total_items: u64, chunk_items: u64) -> u64 {
+    if total_items == 0 {
+        0
+    } else {
+        total_items.div_ceil(chunk_items.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_sums_correctly() {
+        let data: Vec<u64> = (1..=1000).collect();
+        let total = map_chunks(&data, 8, |_, chunk| chunk.iter().sum::<u64>(), |a, b| a + b);
+        assert_eq!(total, Some(500_500));
+    }
+
+    #[test]
+    fn single_task_matches_multi_task() {
+        let data: Vec<u64> = (0..997).map(|i| i * 31 % 101).collect();
+        let one = map_chunks(&data, 1, |_, c| c.iter().sum::<u64>(), |a, b| a + b);
+        let many = map_chunks(&data, 7, |_, c| c.iter().sum::<u64>(), |a, b| a + b);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        let data: Vec<u64> = Vec::new();
+        assert_eq!(map_chunks(&data, 4, |_, c| c.len(), |a, b| a + b), None);
+    }
+
+    #[test]
+    fn chunk_indexes_are_passed_in_order() {
+        let data: Vec<u32> = (0..100).collect();
+        let indexes = map_chunks(
+            &data,
+            4,
+            |index, _| vec![index],
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        )
+        .unwrap();
+        assert_eq!(indexes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn more_tasks_than_items_is_fine() {
+        let data = vec![1u64, 2, 3];
+        let total = map_chunks(&data, 64, |_, c| c.iter().sum::<u64>(), |a, b| a + b);
+        assert_eq!(total, Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_is_rejected() {
+        let data = vec![1u64];
+        let _ = map_chunks(&data, 0, |_, c| c.len(), |a, b| a + b);
+    }
+
+    #[test]
+    fn chunk_counts_rounds_up() {
+        assert_eq!(chunk_counts(100, 64), 2);
+        assert_eq!(chunk_counts(0, 64), 0);
+        assert_eq!(chunk_counts(64, 64), 1);
+        assert_eq!(chunk_counts(10, 0), 10);
+    }
+}

@@ -1,0 +1,506 @@
+//! The execution engine: turns an [`OpProfile`] into the metric vector of
+//! Table V for a given architecture.
+//!
+//! The engine is the reproduction's stand-in for `perf` reading hardware
+//! performance counters.  It is deterministic: the cache and branch
+//! simulators consume bounded, seeded sample streams derived from the
+//! profile's access and branch descriptors, and every analytic step is a
+//! pure function of the profile and the architecture.
+
+use rand::Rng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dmpb_metrics::MetricVector;
+
+use crate::access::AddressStream;
+use crate::arch::ArchProfile;
+use crate::branch::{BranchPredictor, GsharePredictor};
+use crate::hierarchy::{CacheHierarchy, ServedBy};
+use crate::pipeline::{self, CacheBehavior};
+use crate::profile::OpProfile;
+
+/// Sampling sizes and seed of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of sampled data accesses fed to the cache hierarchy.
+    pub sample_data_accesses: usize,
+    /// Number of sampled instruction fetches fed to the L1I path.
+    pub sample_instruction_fetches: usize,
+    /// Number of sampled branches fed to the predictor.
+    pub sample_branches: usize,
+    /// Seed for all sampled streams.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            sample_data_accesses: 60_000,
+            sample_instruction_fetches: 30_000,
+            sample_branches: 30_000,
+            seed: 0xD1A7_0F15,
+        }
+    }
+}
+
+/// Fraction of peak memory bandwidth that is sustainable in practice.
+const MEMORY_BW_EFFICIENCY: f64 = 0.8;
+/// Approximate size of one "function body" region used by the instruction
+/// fetch model.
+const FUNCTION_REGION_BYTES: u64 = 4 * 1024;
+/// Probability that an instruction fetch jumps to a different function.
+const CALL_JUMP_PROBABILITY: f64 = 0.01;
+/// Memory-level parallelism available to pointer-chasing access patterns.
+const POINTER_CHASE_MLP: f64 = 0.1;
+
+/// Instruction-fetch walk state, kept across the warm-up and measured
+/// passes.
+#[derive(Debug)]
+struct FetchState {
+    rng: StdRng,
+    region_base: u64,
+    offset: u64,
+}
+
+impl Default for FetchState {
+    fn default() -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(0x1F37),
+            region_base: 0,
+            offset: 0,
+        }
+    }
+}
+
+/// Access-weighted memory-level-parallelism friendliness of a profile's
+/// segments (pointer chasing exposes almost none).
+fn mlp_friendliness(profile: &OpProfile) -> f64 {
+    let segments = profile.normalized_segments();
+    if segments.is_empty() {
+        return 1.0;
+    }
+    segments
+        .iter()
+        .map(|s| s.access_weight * pattern_mlp(s.pattern))
+        .sum::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+/// How much of an access pattern's miss latency the core (and the hardware
+/// prefetchers) can overlap with other work.
+fn pattern_mlp(pattern: crate::access::AccessPattern) -> f64 {
+    use crate::access::AccessPattern::*;
+    match pattern {
+        Sequential => 0.97,
+        Strided { .. } => 0.88,
+        Random => 0.65,
+        PointerChase => POINTER_CHASE_MLP,
+    }
+}
+
+/// The shared measurement instrument of the reproduction.
+#[derive(Debug, Clone)]
+pub struct ExecutionEngine {
+    arch: ArchProfile,
+    config: EngineConfig,
+}
+
+impl ExecutionEngine {
+    /// Creates an engine for the given architecture with default sampling.
+    pub fn new(arch: ArchProfile) -> Self {
+        Self { arch, config: EngineConfig::default() }
+    }
+
+    /// Creates an engine with explicit sampling configuration.
+    pub fn with_config(arch: ArchProfile, config: EngineConfig) -> Self {
+        Self { arch, config }
+    }
+
+    /// The architecture this engine models.
+    pub fn arch(&self) -> &ArchProfile {
+        &self.arch
+    }
+
+    /// Measures `profile` when executed with `threads` worker tasks on one
+    /// node of the modelled machine, returning the full metric vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn run(&self, profile: &OpProfile, threads: u32) -> MetricVector {
+        assert!(threads > 0, "at least one thread is required");
+        let arch = &self.arch;
+        let mut hierarchy = CacheHierarchy::for_arch(arch);
+
+        // Both simulated paths run a warm-up pass first and are measured in
+        // steady state: the sampled streams are far shorter than the real
+        // instruction stream, so cold-start misses would otherwise dominate
+        // working sets that are in fact cache resident for most of the run.
+        let mut fetch_state = FetchState::default();
+        let mut data_streams = self.build_data_streams(profile);
+
+        // --- Warm-up pass -----------------------------------------------
+        self.simulate_instruction_fetches(profile, &mut hierarchy, &mut fetch_state);
+        self.simulate_data_accesses(&mut data_streams, &mut hierarchy);
+        hierarchy.reset_stats();
+
+        // --- Measured pass -----------------------------------------------
+        self.simulate_instruction_fetches(profile, &mut hierarchy, &mut fetch_state);
+        let memory_served = self.simulate_data_accesses(&mut data_streams, &mut hierarchy);
+        let mlp_friendliness = mlp_friendliness(profile);
+
+        let l1i_hit = hierarchy.l1i_stats().hit_ratio();
+        let l1d_hit = hierarchy.l1d_stats().hit_ratio();
+        let l2_hit = hierarchy.l2_stats().hit_ratio();
+        let l3_hit = hierarchy.l3_stats().hit_ratio();
+
+        // --- Branch path ----------------------------------------------------
+        let branch_miss_ratio = self.simulate_branches(profile);
+
+        // --- Pipeline -------------------------------------------------------
+        let mix = profile.instructions.mix();
+        let cache_behavior = CacheBehavior {
+            l1i_hit,
+            l1d_hit,
+            l2_hit,
+            l3_hit,
+            mlp_friendliness,
+        };
+        let pipe = pipeline::estimate(arch, &mix, &cache_behavior, branch_miss_ratio);
+
+        // --- Runtime --------------------------------------------------------
+        let total_instructions = profile.total_instructions() as f64;
+        let threads_effective = f64::from(threads.min(arch.cores_per_node()));
+        let cycles = total_instructions * pipe.cpi;
+        let serial = 1.0 - profile.parallel_fraction;
+        let mut compute_secs =
+            cycles / arch.frequency_hz * (serial + profile.parallel_fraction / threads_effective);
+
+        // --- Memory traffic and bandwidth ceiling --------------------------
+        let mem_instructions = profile.instructions.memory() as f64;
+        let dram_accesses = mem_instructions * memory_served;
+        let line = arch.l1d.line_bytes as f64;
+        let store_share = if profile.instructions.memory() == 0 {
+            0.0
+        } else {
+            profile.instructions.store as f64 / profile.instructions.memory() as f64
+        };
+        let read_bytes = dram_accesses * line;
+        let write_bytes = dram_accesses * line * store_share;
+        let total_mem_bytes = read_bytes + write_bytes;
+        if compute_secs > 0.0 {
+            let demanded_mbps = total_mem_bytes / compute_secs / 1e6;
+            let sustainable = arch.peak_memory_bw_mbps * MEMORY_BW_EFFICIENCY;
+            if demanded_mbps > sustainable {
+                compute_secs = total_mem_bytes / (sustainable * 1e6);
+            }
+        }
+
+        // --- Disk I/O -------------------------------------------------------
+        let disk_bytes = profile.total_disk_bytes() as f64;
+        let disk_secs = disk_bytes / (arch.peak_disk_bw_mbps * 1e6);
+
+        // Disk and compute overlap (Hadoop pipelines map output spills with
+        // computation); the run is bound by the slower of the two.
+        let runtime_secs = compute_secs.max(disk_secs).max(1e-9);
+
+        let mips = total_instructions / runtime_secs / 1e6;
+        let mem_read_bw_mbps = read_bytes / runtime_secs / 1e6;
+        let mem_write_bw_mbps = write_bytes / runtime_secs / 1e6;
+        let disk_io_bw_mbps = disk_bytes / runtime_secs / 1e6;
+
+        MetricVector {
+            runtime_secs,
+            ipc: pipe.ipc,
+            mips,
+            instruction_mix: mix,
+            branch_miss_ratio,
+            l1i_hit_ratio: l1i_hit,
+            l1d_hit_ratio: l1d_hit,
+            l2_hit_ratio: l2_hit,
+            l3_hit_ratio: l3_hit,
+            mem_read_bw_mbps,
+            mem_write_bw_mbps,
+            disk_io_bw_mbps,
+        }
+    }
+
+    /// Builds one sampled address stream per memory segment, each with its
+    /// own non-overlapping address range and sample budget.
+    fn build_data_streams(&self, profile: &OpProfile) -> Vec<(AddressStream, usize)> {
+        profile
+            .normalized_segments()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, segment)| {
+                let n = ((self.config.sample_data_accesses as f64) * segment.access_weight)
+                    .round() as usize;
+                if n == 0 {
+                    return None;
+                }
+                let base = 0x1_0000_0000_u64 + ((i as u64) << 34);
+                let stream = AddressStream::new(
+                    segment.pattern,
+                    base,
+                    segment.working_set_bytes,
+                    self.config.seed.wrapping_add(i as u64 * 7919),
+                );
+                Some((stream, n))
+            })
+            .collect()
+    }
+
+    /// Simulates the instruction-fetch stream: mostly sequential fetches
+    /// within a hot function region, with occasional jumps to other
+    /// functions across the code footprint.  Heavy software stacks (large
+    /// footprints) therefore see lower L1I hit ratios.  The fetch state is
+    /// kept by the caller so a warm-up pass can be followed by a measured
+    /// pass.
+    fn simulate_instruction_fetches(
+        &self,
+        profile: &OpProfile,
+        hierarchy: &mut CacheHierarchy,
+        state: &mut FetchState,
+    ) {
+        let footprint = profile.code_footprint_bytes.max(1024);
+        for _ in 0..self.config.sample_instruction_fetches {
+            if state.rng.gen::<f64>() < CALL_JUMP_PROBABILITY {
+                let regions = (footprint / FUNCTION_REGION_BYTES).max(1);
+                state.region_base = state.rng.gen_range(0..regions) * FUNCTION_REGION_BYTES;
+                state.offset = 0;
+            }
+            let address = 0x4000_0000 + state.region_base + state.offset;
+            hierarchy.access_instruction(address);
+            state.offset = (state.offset + 4) % FUNCTION_REGION_BYTES;
+        }
+    }
+
+    /// Advances every sampled data stream by its budget, returning the
+    /// fraction of accesses served by main memory in this pass.
+    fn simulate_data_accesses(
+        &self,
+        streams: &mut [(AddressStream, usize)],
+        hierarchy: &mut CacheHierarchy,
+    ) -> f64 {
+        let mut served_memory = 0u64;
+        let mut total = 0u64;
+        // Interleave the segments' accesses finely (as the real instruction
+        // stream does) so that frequently re-referenced small working sets
+        // are not evicted by another segment's streaming between passes.
+        const SLICES: usize = 200;
+        for slice in 0..SLICES {
+            for (stream, n) in streams.iter_mut() {
+                let budget = *n / SLICES + usize::from(slice < *n % SLICES);
+                for _ in 0..budget {
+                    let address = stream.next_address();
+                    total += 1;
+                    if hierarchy.access_data(address) == ServedBy::Memory {
+                        served_memory += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            served_memory as f64 / total as f64
+        }
+    }
+
+    /// Simulates the sampled branch stream through a gshare predictor and
+    /// returns the misprediction ratio.
+    fn simulate_branches(&self, profile: &OpProfile) -> f64 {
+        if profile.instructions.branch == 0 {
+            return 0.0;
+        }
+        let behavior = profile.branch;
+        let mut predictor = GsharePredictor::from_config(self.arch.branch);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xB4A2);
+        // A handful of static branch sites, as in a hot loop nest.
+        let pcs: Vec<u64> = (0..16).map(|i| 0x4000_1000 + i * 24).collect();
+        let mut phase: f64 = 0.0;
+        for i in 0..self.config.sample_branches {
+            let pc = pcs[i % pcs.len()];
+            let regular = rng.gen::<f64>() < behavior.regularity;
+            let taken = if regular {
+                // Deterministic Bresenham-style pattern with the requested
+                // taken ratio: highly predictable once learned.
+                phase += behavior.taken_ratio;
+                if phase >= 1.0 {
+                    phase -= 1.0;
+                    true
+                } else {
+                    false
+                }
+            } else {
+                rng.gen::<f64>() < behavior.taken_ratio
+            };
+            predictor.predict_and_update(pc, taken);
+        }
+        predictor.stats().miss_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessPattern;
+    use crate::profile::{BranchBehavior, InstructionCounts, MemorySegment};
+
+    fn base_profile() -> OpProfile {
+        OpProfile {
+            name: "test".to_string(),
+            instructions: InstructionCounts {
+                integer: 4_000_000_000,
+                floating_point: 500_000_000,
+                load: 2_500_000_000,
+                store: 1_200_000_000,
+                branch: 1_800_000_000,
+            },
+            memory_segments: vec![
+                MemorySegment::new(AccessPattern::Sequential, 1 << 30, 0.7),
+                MemorySegment::new(AccessPattern::Random, 64 << 20, 0.3),
+            ],
+            branch: BranchBehavior::new(0.7, 0.8),
+            code_footprint_bytes: 256 * 1024,
+            disk_read_bytes: 2_000_000_000,
+            disk_write_bytes: 1_000_000_000,
+            parallel_fraction: 0.95,
+        }
+    }
+
+    fn engine() -> ExecutionEngine {
+        ExecutionEngine::new(ArchProfile::westmere_e5645())
+    }
+
+    #[test]
+    fn run_produces_finite_sane_metrics() {
+        let m = engine().run(&base_profile(), 12);
+        assert!(m.is_finite());
+        assert!(m.runtime_secs > 0.0);
+        assert!(m.ipc > 0.0 && m.ipc <= 4.0);
+        assert!(m.mips > 0.0);
+        assert!((0.0..=1.0).contains(&m.branch_miss_ratio));
+        for hit in [m.l1i_hit_ratio, m.l1d_hit_ratio, m.l2_hit_ratio, m.l3_hit_ratio] {
+            assert!((0.0..=1.0).contains(&hit));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = engine().run(&base_profile(), 12);
+        let b = engine().run(&base_profile(), 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_threads_run_faster() {
+        let p = base_profile();
+        let e = engine();
+        let one = e.run(&p, 1);
+        let twelve = e.run(&p, 12);
+        // Scaling is sub-linear because the twelve-thread run saturates the
+        // node's memory bandwidth, but it must still be faster.
+        assert!(twelve.runtime_secs < one.runtime_secs * 0.9, "1t {} 12t {}", one.runtime_secs, twelve.runtime_secs);
+    }
+
+    #[test]
+    fn thread_count_is_capped_by_cores() {
+        let p = base_profile();
+        let e = engine();
+        let twelve = e.run(&p, 12);
+        let thousand = e.run(&p, 1000);
+        assert!((twelve.runtime_secs - thousand.runtime_secs).abs() / twelve.runtime_secs < 1e-9);
+    }
+
+    #[test]
+    fn scaling_work_scales_runtime_roughly_linearly() {
+        let p = base_profile();
+        let e = engine();
+        let small = e.run(&p, 12);
+        let big = e.run(&p.scaled(10.0), 12);
+        let ratio = big.runtime_secs / small.runtime_secs;
+        assert!((5.0..=20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn random_working_set_hurts_l1d_hit_ratio() {
+        let mut streaming = base_profile();
+        streaming.memory_segments = vec![MemorySegment::new(AccessPattern::Sequential, 1 << 30, 1.0)];
+        let mut random = base_profile();
+        random.memory_segments = vec![MemorySegment::new(AccessPattern::Random, 1 << 30, 1.0)];
+        let e = engine();
+        let s = e.run(&streaming, 12);
+        let r = e.run(&random, 12);
+        assert!(s.l1d_hit_ratio > r.l1d_hit_ratio + 0.2, "seq {} rand {}", s.l1d_hit_ratio, r.l1d_hit_ratio);
+    }
+
+    #[test]
+    fn small_code_footprint_has_better_l1i() {
+        let mut small = base_profile();
+        small.code_footprint_bytes = 8 * 1024;
+        let mut huge = base_profile();
+        huge.code_footprint_bytes = 8 * 1024 * 1024;
+        let e = engine();
+        assert!(e.run(&small, 12).l1i_hit_ratio > e.run(&huge, 12).l1i_hit_ratio);
+    }
+
+    #[test]
+    fn irregular_branches_mispredict_more() {
+        let mut regular = base_profile();
+        regular.branch = BranchBehavior::new(0.8, 0.98);
+        let mut irregular = base_profile();
+        irregular.branch = BranchBehavior::new(0.5, 0.0);
+        let e = engine();
+        let r = e.run(&regular, 12);
+        let i = e.run(&irregular, 12);
+        assert!(i.branch_miss_ratio > r.branch_miss_ratio + 0.1, "irr {} reg {}", i.branch_miss_ratio, r.branch_miss_ratio);
+    }
+
+    #[test]
+    fn disk_heavy_profile_is_io_bound() {
+        let mut p = base_profile();
+        p.disk_read_bytes = 400_000_000_000; // 400 GB through a ~140 MB/s disk
+        p.disk_write_bytes = 0;
+        let m = engine().run(&p, 12);
+        // Runtime should be close to the disk service time.
+        let disk_secs = 400_000_000_000.0 / (ArchProfile::westmere_e5645().peak_disk_bw_mbps * 1e6);
+        assert!((m.runtime_secs - disk_secs).abs() / disk_secs < 0.05);
+        assert!(m.disk_io_bw_mbps > 100.0);
+    }
+
+    #[test]
+    fn no_disk_traffic_means_zero_disk_bandwidth() {
+        let mut p = base_profile();
+        p.disk_read_bytes = 0;
+        p.disk_write_bytes = 0;
+        let m = engine().run(&p, 12);
+        assert_eq!(m.disk_io_bw_mbps, 0.0);
+    }
+
+    #[test]
+    fn haswell_outperforms_westmere() {
+        let p = base_profile();
+        let w = ExecutionEngine::new(ArchProfile::westmere_e5645()).run(&p, 12);
+        let h = ExecutionEngine::new(ArchProfile::haswell_e5_2620_v3()).run(&p, 12);
+        assert!(h.runtime_secs < w.runtime_secs, "haswell {} westmere {}", h.runtime_secs, w.runtime_secs);
+        let speedup = w.runtime_secs / h.runtime_secs;
+        assert!((1.05..=2.5).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_is_rejected() {
+        let _ = engine().run(&base_profile(), 0);
+    }
+
+    #[test]
+    fn empty_memory_profile_is_handled() {
+        let mut p = base_profile();
+        p.memory_segments.clear();
+        let m = engine().run(&p, 12);
+        assert!(m.is_finite());
+        assert_eq!(m.mem_read_bw_mbps, 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dmpb-perfmodel — architectural performance-model substrate
+//!
+//! The paper measures both the original workloads and the generated proxy
+//! benchmarks with Linux `perf` reading the hardware performance monitoring
+//! counters (PMCs) of two Intel Xeon machines — a Westmere E5645 cluster
+//! (Table IV) and a Haswell E5-2620 v3 cluster (Section IV-C).  Neither the
+//! machines nor the counters exist in this reproduction, so this crate is
+//! the substitute instrument: a deterministic architectural performance
+//! model that produces the full metric vector of Table V for any workload
+//! expressed as an [`profile::OpProfile`].
+//!
+//! The model has the following parts:
+//!
+//! * [`arch`] — [`arch::ArchProfile`] descriptions of the two processors
+//!   and [`arch::NodeConfig`]s of the evaluation clusters;
+//! * [`cache`] / [`hierarchy`] — set-associative LRU caches combined into
+//!   the L1I / L1D / L2 / L3 hierarchy;
+//! * [`branch`] — bimodal and gshare branch predictors;
+//! * [`access`] — memory access-pattern descriptors and the sampled
+//!   synthetic address streams derived from them;
+//! * [`profile`] — [`profile::OpProfile`], the workload-side interface:
+//!   dynamic instruction counts, memory segments, branch behaviour,
+//!   code footprint and disk I/O volume;
+//! * [`pipeline`] — a CPI model that folds cache and branch penalties into
+//!   IPC;
+//! * [`engine`] — [`engine::ExecutionEngine`], which runs an `OpProfile`
+//!   through all of the above and emits a [`dmpb_metrics::MetricVector`].
+//!
+//! Both the "real" workload models (`dmpb-workloads`) and the proxy
+//! benchmarks (`dmpb-core`) are measured by this same engine, mirroring the
+//! paper's use of one instrument on both sides of the comparison.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod access;
+pub mod arch;
+pub mod branch;
+pub mod cache;
+pub mod engine;
+pub mod hierarchy;
+pub mod pipeline;
+pub mod profile;
+
+pub use arch::{ArchProfile, NodeConfig};
+pub use engine::ExecutionEngine;
+pub use profile::{InstructionCounts, MemorySegment, OpProfile};

@@ -1,0 +1,100 @@
+//! Cluster configurations used in the paper's evaluation.
+//!
+//! * Section III: five nodes (one master + four slaves), dual Xeon E5645,
+//!   32 GB memory, 1 GbE.
+//! * Section IV-B: three nodes (one master + two slaves), same processor,
+//!   64 GB memory.
+//! * Section IV-C: three nodes with Xeon E5-2620 v3 (Haswell), 64 GB.
+
+use dmpb_perfmodel::arch::NodeConfig;
+
+/// A Hadoop / TensorFlow evaluation cluster: one master plus
+/// `total_nodes - 1` slave (worker) nodes of identical configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Reporting name of the cluster.
+    pub name: &'static str,
+    /// Total node count including the master / parameter server.
+    pub total_nodes: u32,
+    /// Per-node hardware configuration.
+    pub node: NodeConfig,
+    /// Worker tasks (map slots / TensorFlow intra-op threads) per node.
+    pub tasks_per_node: u32,
+}
+
+impl ClusterConfig {
+    /// The Section III cluster: 5 × dual Xeon E5645, 32 GB, 1 GbE.
+    pub fn five_node_westmere() -> Self {
+        Self {
+            name: "5-node Xeon E5645 (32 GB)",
+            total_nodes: 5,
+            node: NodeConfig::westmere_node(),
+            tasks_per_node: 12,
+        }
+    }
+
+    /// The Section IV-B cluster: 3 × dual Xeon E5645, 64 GB.
+    pub fn three_node_westmere_64gb() -> Self {
+        Self {
+            name: "3-node Xeon E5645 (64 GB)",
+            total_nodes: 3,
+            node: NodeConfig::westmere_node_64gb(),
+            tasks_per_node: 12,
+        }
+    }
+
+    /// The Section IV-C cluster: 3 × dual Xeon E5-2620 v3, 64 GB.
+    pub fn three_node_haswell() -> Self {
+        Self {
+            name: "3-node Xeon E5-2620 v3 (64 GB)",
+            total_nodes: 3,
+            node: NodeConfig::haswell_node(),
+            tasks_per_node: 12,
+        }
+    }
+
+    /// Number of slave / worker nodes (the master does not process data).
+    pub fn slave_nodes(&self) -> u32 {
+        self.total_nodes.saturating_sub(1).max(1)
+    }
+
+    /// Total worker tasks across the cluster.
+    pub fn total_tasks(&self) -> u32 {
+        self.slave_nodes() * self.tasks_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_node_cluster_has_four_slaves() {
+        let c = ClusterConfig::five_node_westmere();
+        assert_eq!(c.slave_nodes(), 4);
+        assert_eq!(c.total_tasks(), 48);
+        assert_eq!(c.node.memory_gb, 32);
+    }
+
+    #[test]
+    fn reconfigured_cluster_matches_section_iv() {
+        let c = ClusterConfig::three_node_westmere_64gb();
+        assert_eq!(c.slave_nodes(), 2);
+        assert_eq!(c.node.memory_gb, 64);
+        assert_eq!(c.node.arch.name, "Xeon E5645 (Westmere)");
+    }
+
+    #[test]
+    fn haswell_cluster_uses_the_newer_processor() {
+        let c = ClusterConfig::three_node_haswell();
+        assert_eq!(c.node.arch.name, "Xeon E5-2620 v3 (Haswell)");
+        assert_eq!(c.slave_nodes(), 2);
+    }
+
+    #[test]
+    fn degenerate_single_node_cluster_still_has_one_worker() {
+        let mut c = ClusterConfig::five_node_westmere();
+        c.total_nodes = 1;
+        assert_eq!(c.slave_nodes(), 1);
+    }
+}

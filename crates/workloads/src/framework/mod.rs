@@ -1,0 +1,15 @@
+//! Software-stack overhead models.
+//!
+//! The original workloads do not run their motifs on bare metal: Hadoop
+//! jobs pay for the JVM (interpretation, object churn, garbage collection),
+//! the MapReduce runtime (task scheduling, serialisation, spill/merge,
+//! HDFS replication) and the shuffle; TensorFlow jobs pay for the dataflow
+//! runtime and the parameter-server step loop.  These overheads are a large
+//! part of why the originals behave differently from bare kernels — and
+//! exactly the gap the proxy methodology has to close — so they are
+//! modelled explicitly here as additional [`dmpb_perfmodel::OpProfile`]
+//! components merged into each workload's profile.
+
+pub mod jvm;
+pub mod mapreduce;
+pub mod tensorflow;

@@ -1,0 +1,9 @@
+//! Models of the three Hadoop workloads: TeraSort, K-means and PageRank.
+
+pub mod kmeans;
+pub mod pagerank;
+pub mod terasort;
+
+pub use kmeans::KMeans;
+pub use pagerank::PageRank;
+pub use terasort::TeraSort;

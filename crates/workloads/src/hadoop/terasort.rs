@@ -1,0 +1,170 @@
+//! Hadoop TeraSort: the I/O-intensive workload of the evaluation.
+//!
+//! 100 GB of gensort records are sampled to derive partition boundaries,
+//! each map task sorts its chunk, the shuffle routes each key range to its
+//! reducer, and the reducers merge the sorted runs and write the globally
+//! sorted output back to HDFS.  Table III lists the involved motifs as
+//! Sort, Sampling and Graph (the partition trie), and the paper quotes the
+//! initial proxy weights as 70 % sort, 10 % sampling and 20 % graph.
+
+use dmpb_datagen::text::TextGenerator;
+use dmpb_datagen::DataDescriptor;
+use dmpb_motifs::{MotifClass, MotifConfig, MotifKind};
+use dmpb_perfmodel::profile::OpProfile;
+
+use crate::cluster::ClusterConfig;
+use crate::framework::mapreduce::{per_node_job_profile, JobShape};
+use crate::workload::{Workload, WorkloadKind};
+
+/// Fraction of the input that the partition sampler inspects.
+const SAMPLING_FRACTION: f64 = 0.02;
+/// Size of the partition structure (trie over splitter keys) relative to
+/// the input.
+const PARTITION_STRUCTURE_FRACTION: f64 = 0.001;
+
+/// The Hadoop TeraSort workload model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeraSort {
+    /// Total input volume in bytes.
+    pub input_bytes: u64,
+}
+
+impl TeraSort {
+    /// The paper's Section III configuration: 100 GB of gensort text.
+    pub fn paper_configuration() -> Self {
+        Self { input_bytes: 100 << 30 }
+    }
+
+    /// A scaled-down configuration for quick experiments and tests.
+    pub fn scaled(input_bytes: u64) -> Self {
+        Self { input_bytes }
+    }
+
+    fn user_profiles(&self, cluster: &ClusterConfig) -> Vec<OpProfile> {
+        let per_node = self.input_bytes / u64::from(cluster.slave_nodes());
+        let config = MotifConfig::big_data_default().with_num_tasks(cluster.tasks_per_node);
+        // Motif-level disk accounting is replaced by the job model, so the
+        // spill flag only matters for the proxies.
+        let data = TextGenerator::descriptor(per_node);
+        let sample = data.scaled_to((per_node as f64 * SAMPLING_FRACTION) as u64);
+        let partition = data.scaled_to((per_node as f64 * PARTITION_STRUCTURE_FRACTION) as u64);
+        vec![
+            // Map side: chunk sort; reduce side: merge of sorted runs.
+            MotifKind::QuickSort.cost_profile(&data, &config),
+            MotifKind::MergeSort.cost_profile(&data, &config),
+            // Partition sampling.
+            MotifKind::RandomSampling.cost_profile(&sample, &config),
+            MotifKind::IntervalSampling.cost_profile(&sample, &config),
+            // Partition trie construction and lookups.
+            MotifKind::GraphConstruct.cost_profile(&partition, &config),
+            MotifKind::GraphTraversal.cost_profile(&data.scaled_to(per_node / 10), &config),
+        ]
+    }
+
+    fn job_shape(&self) -> JobShape {
+        JobShape {
+            input_bytes: self.input_bytes,
+            shuffle_ratio: 1.0,
+            output_ratio: 1.0,
+            // TeraSort conventionally writes its output with replication 1.
+            output_replication: 1,
+            heap_bytes: 8 << 30,
+            pipeline_factor: 1.0,
+        }
+    }
+}
+
+impl Workload for TeraSort {
+    fn kind(&self) -> WorkloadKind {
+        WorkloadKind::TeraSort
+    }
+
+    fn pattern(&self) -> &'static str {
+        "I/O intensive"
+    }
+
+    fn input_descriptor(&self) -> DataDescriptor {
+        TextGenerator::descriptor(self.input_bytes)
+    }
+
+    fn motif_composition(&self) -> Vec<(MotifClass, f64)> {
+        vec![
+            (MotifClass::Sort, 0.70),
+            (MotifClass::Sampling, 0.10),
+            (MotifClass::Graph, 0.20),
+        ]
+    }
+
+    fn involved_motifs(&self) -> Vec<MotifKind> {
+        vec![
+            MotifKind::QuickSort,
+            MotifKind::MergeSort,
+            MotifKind::RandomSampling,
+            MotifKind::IntervalSampling,
+            MotifKind::GraphConstruct,
+            MotifKind::GraphTraversal,
+        ]
+    }
+
+    fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile {
+        per_node_job_profile(
+            &self.job_shape(),
+            cluster,
+            self.user_profiles(cluster),
+            "hadoop-terasort",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpb_perfmodel::ExecutionEngine;
+
+    #[test]
+    fn paper_configuration_is_100gb() {
+        let t = TeraSort::paper_configuration();
+        assert_eq!(t.input_bytes, 100 << 30);
+        assert_eq!(t.input_descriptor().element_count(), (100 << 30) / 100);
+    }
+
+    #[test]
+    fn profile_is_io_heavy_and_integer_dominated() {
+        let t = TeraSort::paper_configuration();
+        let cluster = ClusterConfig::five_node_westmere();
+        let p = t.per_node_profile(&cluster);
+        assert!(p.total_disk_bytes() > 50 << 30, "disk {}", p.total_disk_bytes());
+        let mix = p.instructions.mix();
+        assert!(mix.floating_point < 0.05, "fp {}", mix.floating_point);
+        assert!(mix.integer > 0.3);
+    }
+
+    #[test]
+    fn composition_weights_match_the_paper_example() {
+        let comp = TeraSort::paper_configuration().motif_composition();
+        let total: f64 = comp.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(comp[0], (MotifClass::Sort, 0.70));
+    }
+
+    #[test]
+    fn measured_runtime_is_in_the_hundreds_of_seconds() {
+        let t = TeraSort::paper_configuration();
+        let cluster = ClusterConfig::five_node_westmere();
+        let engine = ExecutionEngine::new(cluster.node.arch);
+        let m = engine.run(&t.per_node_profile(&cluster), cluster.tasks_per_node);
+        assert!(
+            (200.0..=6000.0).contains(&m.runtime_secs),
+            "runtime {}",
+            m.runtime_secs
+        );
+    }
+
+    #[test]
+    fn fewer_nodes_means_longer_runtime() {
+        let t = TeraSort::paper_configuration();
+        let five = t.measure(&ClusterConfig::five_node_westmere());
+        let three = t.measure(&ClusterConfig::three_node_westmere_64gb());
+        assert!(three.runtime_secs > five.runtime_secs);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dmpb-workloads — models of the original big data and AI workloads
+//!
+//! The paper evaluates its proxy benchmarks against five real workloads
+//! from BigDataBench 4.0 running on a Hadoop / TensorFlow cluster:
+//!
+//! | Workload | Pattern | Input |
+//! |---|---|---|
+//! | Hadoop TeraSort | I/O intensive | 100 GB gensort text |
+//! | Hadoop K-means | CPU + memory intensive | 100 GB sparse vectors (90 % sparse) |
+//! | Hadoop PageRank | CPU + I/O intensive | 2^26-vertex graph |
+//! | TensorFlow AlexNet | CPU + memory intensive | CIFAR-10, batch 128, 10 000 steps |
+//! | TensorFlow Inception-V3 | CPU intensive | ILSVRC2012, batch 32, 1 000 steps |
+//!
+//! Neither Hadoop, TensorFlow nor the cluster exist in this reproduction,
+//! so this crate models the originals: each workload composes the motif
+//! cost models of `dmpb-motifs` (the same ones the proxies are built from)
+//! with **software-stack overhead models** — the JVM / MapReduce runtime
+//! ([`framework::jvm`], [`framework::mapreduce`]) and the TensorFlow graph
+//! executor with its parameter-server step loop
+//! ([`framework::tensorflow`]) — plus the HDFS-style disk traffic and the
+//! cluster topology ([`cluster`]).  The result of a workload model is a
+//! per-node [`dmpb_perfmodel::OpProfile`], measured by the same
+//! [`dmpb_perfmodel::ExecutionEngine`] that measures the proxies.
+//!
+//! The [`workload::Workload`] trait is the entry point; [`workload::all_workloads`]
+//! returns the five paper workloads with their Section III configurations.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod framework;
+pub mod hadoop;
+pub mod tensorflow;
+pub mod workload;
+
+pub use cluster::ClusterConfig;
+pub use workload::{all_workloads, workload_by_kind, Workload, WorkloadKind};

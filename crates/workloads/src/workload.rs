@@ -1,0 +1,210 @@
+//! The [`Workload`] trait and the registry of the five paper workloads.
+
+use dmpb_datagen::DataDescriptor;
+use dmpb_metrics::MetricVector;
+use dmpb_motifs::{MotifClass, MotifKind};
+use dmpb_perfmodel::profile::OpProfile;
+use dmpb_perfmodel::ExecutionEngine;
+
+use crate::cluster::ClusterConfig;
+use crate::hadoop::{KMeans, PageRank, TeraSort};
+use crate::tensorflow::{AlexNet, InceptionV3};
+
+/// Identity of one of the five evaluated workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadKind {
+    /// Hadoop TeraSort.
+    TeraSort,
+    /// Hadoop K-means.
+    KMeans,
+    /// Hadoop PageRank.
+    PageRank,
+    /// TensorFlow AlexNet.
+    AlexNet,
+    /// TensorFlow Inception-V3.
+    InceptionV3,
+}
+
+impl WorkloadKind {
+    /// The five workloads in the order the paper's tables list them.
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::TeraSort,
+        WorkloadKind::KMeans,
+        WorkloadKind::PageRank,
+        WorkloadKind::AlexNet,
+        WorkloadKind::InceptionV3,
+    ];
+
+    /// Name of the original workload (with its software stack).
+    pub fn real_name(&self) -> &'static str {
+        match self {
+            WorkloadKind::TeraSort => "Hadoop TeraSort",
+            WorkloadKind::KMeans => "Hadoop K-means",
+            WorkloadKind::PageRank => "Hadoop PageRank",
+            WorkloadKind::AlexNet => "TensorFlow AlexNet",
+            WorkloadKind::InceptionV3 => "TensorFlow Inception-V3",
+        }
+    }
+
+    /// Name of the corresponding proxy benchmark.
+    pub fn proxy_name(&self) -> &'static str {
+        match self {
+            WorkloadKind::TeraSort => "Proxy TeraSort",
+            WorkloadKind::KMeans => "Proxy K-means",
+            WorkloadKind::PageRank => "Proxy PageRank",
+            WorkloadKind::AlexNet => "Proxy AlexNet",
+            WorkloadKind::InceptionV3 => "Proxy Inception-V3",
+        }
+    }
+
+    /// Short label used in table rows.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            WorkloadKind::TeraSort => "TeraSort",
+            WorkloadKind::KMeans => "K-means",
+            WorkloadKind::PageRank => "PageRank",
+            WorkloadKind::AlexNet => "AlexNet",
+            WorkloadKind::InceptionV3 => "Inception-V3",
+        }
+    }
+
+    /// Returns true for the TensorFlow (AI) workloads.
+    pub fn is_ai(&self) -> bool {
+        matches!(self, WorkloadKind::AlexNet | WorkloadKind::InceptionV3)
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A model of one original big-data or AI workload.
+///
+/// Implementations compose motif cost models with software-stack overhead
+/// into a per-node [`OpProfile`]; [`Workload::measure`] runs that profile
+/// through the shared performance-model instrument for a given cluster.
+pub trait Workload: std::fmt::Debug + Send + Sync {
+    /// Which of the five paper workloads this is.
+    fn kind(&self) -> WorkloadKind;
+
+    /// The workload pattern as characterised in Table III
+    /// (e.g. "I/O intensive").
+    fn pattern(&self) -> &'static str;
+
+    /// Descriptor of the workload's input data set.
+    fn input_descriptor(&self) -> DataDescriptor;
+
+    /// The motif-class decomposition with execution-ratio weights
+    /// (Table III / the paper's hotspot analysis), used as the initial
+    /// proxy weights.
+    fn motif_composition(&self) -> Vec<(MotifClass, f64)>;
+
+    /// The concrete motif implementations involved (the right-most column
+    /// of Table III).
+    fn involved_motifs(&self) -> Vec<MotifKind>;
+
+    /// The per-node operation profile of running this workload on
+    /// `cluster`.
+    fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile;
+
+    /// Worker tasks per node used by this workload.
+    fn tasks_per_node(&self, cluster: &ClusterConfig) -> u32 {
+        cluster.tasks_per_node
+    }
+
+    /// Full name of the original workload.
+    fn name(&self) -> &'static str {
+        self.kind().real_name()
+    }
+
+    /// Measures the workload on `cluster` with the shared instrument,
+    /// returning the per-slave-node metric vector (the paper averages its
+    /// measurements across slave nodes; the model's nodes are identical so
+    /// one node is representative).
+    fn measure(&self, cluster: &ClusterConfig) -> MetricVector {
+        let engine = ExecutionEngine::new(cluster.node.arch);
+        engine.run(&self.per_node_profile(cluster), self.tasks_per_node(cluster))
+    }
+}
+
+/// The five workloads with their Section III configurations.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(TeraSort::paper_configuration()),
+        Box::new(KMeans::paper_configuration()),
+        Box::new(PageRank::paper_configuration()),
+        Box::new(AlexNet::paper_configuration()),
+        Box::new(InceptionV3::paper_configuration()),
+    ]
+}
+
+/// Looks up a workload's Section III configuration by kind.
+pub fn workload_by_kind(kind: WorkloadKind) -> Box<dyn Workload> {
+    match kind {
+        WorkloadKind::TeraSort => Box::new(TeraSort::paper_configuration()),
+        WorkloadKind::KMeans => Box::new(KMeans::paper_configuration()),
+        WorkloadKind::PageRank => Box::new(PageRank::paper_configuration()),
+        WorkloadKind::AlexNet => Box::new(AlexNet::paper_configuration()),
+        WorkloadKind::InceptionV3 => Box::new(InceptionV3::paper_configuration()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_five_workloads() {
+        let workloads = all_workloads();
+        assert_eq!(workloads.len(), 5);
+        let kinds: Vec<WorkloadKind> = workloads.iter().map(|w| w.kind()).collect();
+        assert_eq!(kinds, WorkloadKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn compositions_are_normalised_and_non_empty() {
+        for w in all_workloads() {
+            let comp = w.motif_composition();
+            assert!(!comp.is_empty(), "{} has no composition", w.name());
+            let total: f64 = comp.iter().map(|(_, weight)| weight).sum();
+            assert!((total - 1.0).abs() < 1e-6, "{} weights sum to {total}", w.name());
+            assert!(!w.involved_motifs().is_empty());
+        }
+    }
+
+    #[test]
+    fn ai_workloads_use_ai_motifs_and_hadoop_ones_do_not() {
+        for w in all_workloads() {
+            let any_ai = w.involved_motifs().iter().any(|m| m.is_ai());
+            assert_eq!(any_ai, w.kind().is_ai(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn workload_names_are_consistent() {
+        assert_eq!(WorkloadKind::TeraSort.real_name(), "Hadoop TeraSort");
+        assert_eq!(WorkloadKind::TeraSort.proxy_name(), "Proxy TeraSort");
+        assert_eq!(WorkloadKind::InceptionV3.to_string(), "Inception-V3");
+        assert!(WorkloadKind::AlexNet.is_ai());
+        assert!(!WorkloadKind::PageRank.is_ai());
+    }
+
+    #[test]
+    fn lookup_by_kind_round_trips() {
+        for kind in WorkloadKind::ALL {
+            assert_eq!(workload_by_kind(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn every_workload_measures_to_finite_metrics() {
+        let cluster = ClusterConfig::five_node_westmere();
+        for w in all_workloads() {
+            let m = w.measure(&cluster);
+            assert!(m.is_finite(), "{} produced non-finite metrics", w.name());
+            assert!(m.runtime_secs > 1.0, "{} runtime {}", w.name(), m.runtime_secs);
+        }
+    }
+}

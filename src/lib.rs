@@ -1,0 +1,23 @@
+//! # data-motif-proxy — facade crate
+//!
+//! Reproduction of *"Data Motif-based Proxy Benchmarks for Big Data and AI
+//! Workloads"* (Gao et al., IISWC 2018).  This crate re-exports the
+//! workspace members under short module names so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`datagen`] — seeded data generators (text, vectors, graphs, matrices, images);
+//! * [`perfmodel`] — the architectural performance-model substrate;
+//! * [`metrics`] — metric vectors, accuracy scoring and reporting;
+//! * [`motifs`] — the eight data motifs (big-data and AI implementations);
+//! * [`workloads`] — models of the original Hadoop and TensorFlow workloads;
+//! * [`core`] — the proxy benchmark generating methodology (DAG proxies,
+//!   decomposition, decision-tree auto-tuning, the five-proxy suite).
+
+#![warn(missing_docs)]
+
+pub use dmpb_core as core;
+pub use dmpb_datagen as datagen;
+pub use dmpb_metrics as metrics;
+pub use dmpb_motifs as motifs;
+pub use dmpb_perfmodel as perfmodel;
+pub use dmpb_workloads as workloads;

@@ -1,0 +1,103 @@
+//! Cross-crate integration tests: the full pipeline from data generation
+//! through workload modelling to proxy generation.
+
+use data_motif_proxy::core::decompose::decompose;
+use data_motif_proxy::core::features::initial_parameters;
+use data_motif_proxy::core::generator::ProxyGenerator;
+use data_motif_proxy::core::ProxyBenchmark;
+use data_motif_proxy::metrics::{AccuracyReport, MetricId};
+use data_motif_proxy::perfmodel::{ArchProfile, ExecutionEngine};
+use data_motif_proxy::workloads::{all_workloads, workload_by_kind, ClusterConfig, WorkloadKind};
+
+#[test]
+fn real_workloads_and_proxies_are_measured_by_the_same_instrument() {
+    let cluster = ClusterConfig::five_node_westmere();
+    let engine = ExecutionEngine::new(cluster.node.arch);
+    for workload in all_workloads() {
+        let real = engine.run(&workload.per_node_profile(&cluster), cluster.tasks_per_node);
+        assert!(real.is_finite());
+        let proxy = ProxyBenchmark::from_decomposition(
+            &decompose(workload.as_ref()),
+            initial_parameters(workload.as_ref(), &cluster),
+        );
+        let measured = proxy.measure(&cluster.node.arch);
+        assert!(measured.is_finite());
+        assert!(
+            measured.runtime_secs < real.runtime_secs,
+            "{}: proxy must be faster than the original",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn generated_proxy_keeps_the_input_data_type_and_sparsity() {
+    let cluster = ClusterConfig::five_node_westmere();
+    for workload in all_workloads() {
+        let proxy = ProxyBenchmark::from_decomposition(
+            &decompose(workload.as_ref()),
+            initial_parameters(workload.as_ref(), &cluster),
+        );
+        let original = workload.input_descriptor();
+        let scaled = proxy.proxy_input();
+        assert_eq!(scaled.class, original.class, "{}", workload.name());
+        assert_eq!(scaled.sparsity, original.sparsity, "{}", workload.name());
+        assert!(scaled.total_bytes < original.total_bytes);
+    }
+}
+
+#[test]
+fn end_to_end_generation_for_pagerank_is_accurate_and_fast() {
+    let generator = ProxyGenerator::new(ClusterConfig::five_node_westmere());
+    let report = generator.generate_kind(WorkloadKind::PageRank);
+    assert!(report.accuracy.average() > 0.6, "accuracy {}", report.accuracy.average());
+    assert!(report.speedup > 10.0, "speedup {}", report.speedup);
+    assert!(report.iterations <= 30);
+    // The decomposition's classes all appear in the proxy DAG.
+    assert_eq!(report.proxy.dag().num_edges(), report.decomposition.components.len());
+}
+
+#[test]
+fn proxies_transfer_across_architectures_with_consistent_trends() {
+    let cluster = ClusterConfig::five_node_westmere();
+    let workload = workload_by_kind(WorkloadKind::TeraSort);
+    let proxy = ProxyBenchmark::from_decomposition(
+        &decompose(workload.as_ref()),
+        initial_parameters(workload.as_ref(), &cluster),
+    );
+    let westmere = proxy.measure(&ArchProfile::westmere_e5645());
+    let haswell = proxy.measure(&ArchProfile::haswell_e5_2620_v3());
+    let real_w = workload.measure(&ClusterConfig::three_node_westmere_64gb());
+    let real_h = workload.measure(&ClusterConfig::three_node_haswell());
+    let proxy_speedup = westmere.runtime_secs / haswell.runtime_secs;
+    let real_speedup = real_w.runtime_secs / real_h.runtime_secs;
+    assert!(proxy_speedup > 1.0 && real_speedup > 1.0);
+    assert!(
+        (proxy_speedup - real_speedup).abs() / real_speedup < 0.5,
+        "proxy {proxy_speedup} vs real {real_speedup}"
+    );
+}
+
+#[test]
+fn one_proxy_tracks_different_input_sparsity() {
+    use data_motif_proxy::workloads::hadoop::KMeans;
+    use data_motif_proxy::workloads::workload::Workload;
+    let cluster = ClusterConfig::five_node_westmere();
+    let sparse_workload = KMeans::paper_configuration();
+    let dense_workload = KMeans::dense_configuration();
+    let proxy = ProxyBenchmark::from_decomposition(
+        &decompose(&sparse_workload),
+        initial_parameters(&sparse_workload, &cluster),
+    );
+    let dense_proxy = proxy.with_input(
+        dense_workload
+            .input_descriptor()
+            .scaled_to(proxy.parameters().data_size_bytes),
+    );
+    let accuracy = AccuracyReport::compare(
+        &dense_workload.measure(&cluster),
+        &dense_proxy.measure(&cluster.node.arch),
+        &MetricId::TUNABLE,
+    );
+    assert!(accuracy.average() > 0.4, "dense accuracy {}", accuracy.average());
+}

@@ -1,0 +1,90 @@
+//! Property-based tests over core data structures and invariants.
+
+use data_motif_proxy::core::parameters::{Direction, ParameterId, ProxyParameters};
+use data_motif_proxy::datagen::text::TextGenerator;
+use data_motif_proxy::metrics::accuracy;
+use data_motif_proxy::motifs::bigdata::{set_ops, sort, transform};
+use data_motif_proxy::perfmodel::cache::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quick_sort_matches_std_sort(seed in 0u64..1000, len in 0usize..2000) {
+        let keys = TextGenerator::new(seed).generate(len).keys();
+        let mut ours = keys.clone();
+        sort::quick_sort(&mut ours);
+        let mut expected = keys;
+        expected.sort_unstable();
+        prop_assert_eq!(ours, expected);
+    }
+
+    #[test]
+    fn merge_sort_is_sorted_and_a_permutation(seed in 0u64..1000, len in 0usize..2000) {
+        let keys = TextGenerator::new(seed).generate(len).keys();
+        let sorted = sort::merge_sort(&keys);
+        prop_assert!(sort::is_sorted(&sorted));
+        prop_assert_eq!(sorted.len(), keys.len());
+    }
+
+    #[test]
+    fn set_algebra_identities(a in prop::collection::vec(0u64..500, 0..200),
+                              b in prop::collection::vec(0u64..500, 0..200)) {
+        let a = set_ops::normalize(&a);
+        let b = set_ops::normalize(&b);
+        let union = set_ops::union(&a, &b);
+        let inter = set_ops::intersection(&a, &b);
+        let diff = set_ops::difference(&a, &b);
+        prop_assert!(set_ops::is_canonical(&union));
+        prop_assert_eq!(union.len(), a.len() + b.len() - inter.len());
+        prop_assert_eq!(set_ops::union(&diff, &inter), a);
+    }
+
+    #[test]
+    fn fft_round_trips(values in prop::collection::vec(-100.0f64..100.0, 1..6)) {
+        // Pad to a power of two length.
+        let mut signal = values;
+        let n = signal.len().next_power_of_two().max(2);
+        signal.resize(n, 0.0);
+        let recovered = transform::ifft_real(&transform::fft_real(&signal));
+        for (a, b) in signal.iter().zip(&recovered) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cache_never_holds_more_lines_than_capacity(addresses in prop::collection::vec(0u64..(1 << 20), 1..2000)) {
+        let config = CacheConfig::new(8 * 1024, 64, 4);
+        let capacity_lines = (config.size_bytes / config.line_bytes) as usize;
+        let mut cache = Cache::new(config);
+        for a in addresses {
+            cache.access(a);
+        }
+        prop_assert!(cache.resident_lines() <= capacity_lines);
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, stats.accesses());
+    }
+
+    #[test]
+    fn accuracy_is_bounded_and_symmetric_in_error_sign(real in 0.001f64..1e6, error in -0.99f64..0.99) {
+        let high = accuracy(real, real * (1.0 + error));
+        let low = accuracy(real, real * (1.0 - error));
+        prop_assert!((0.0..=1.0).contains(&high));
+        prop_assert!((high - low).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parameter_adjustments_stay_within_bounds(steps in prop::collection::vec(0usize..12, 0..40)) {
+        let mut params = ProxyParameters::big_data(256 << 20, 8);
+        for s in steps {
+            let id = ParameterId::ALL[s % ParameterId::ALL.len()];
+            let dir = if s % 2 == 0 { Direction::Up } else { Direction::Down };
+            params = params.adjusted(id, dir);
+            prop_assert!(params.num_tasks >= 1);
+            prop_assert!(params.data_size_bytes >= 4 << 20);
+            prop_assert!((0.9..=1.1).contains(&params.weight_skew));
+            prop_assert!((0.0..=0.85).contains(&params.framework_weight));
+        }
+    }
+}
