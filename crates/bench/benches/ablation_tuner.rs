@@ -5,7 +5,6 @@ use dmpb_core::autotune::{AutoTuner, TunerStrategy};
 use dmpb_core::decompose::decompose;
 use dmpb_core::features::{initial_parameters, FeatureSelection};
 use dmpb_core::ProxyBenchmark;
-use dmpb_workloads::workload::Workload;
 use dmpb_workloads::{workload_by_kind, ClusterConfig, WorkloadKind};
 use std::hint::black_box;
 

@@ -3,6 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmpb_core::decompose::decompose;
 use dmpb_core::features::initial_parameters;
+use dmpb_core::runner::SuiteRunner;
 use dmpb_core::ProxyBenchmark;
 use dmpb_perfmodel::ArchProfile;
 use dmpb_workloads::{workload_by_kind, ClusterConfig, WorkloadKind};
@@ -31,5 +32,24 @@ fn bench_proxies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_proxies);
+fn bench_suite_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite_runner");
+    group.sample_size(3);
+    // Cold: every iteration tunes all five workloads from scratch.
+    group.bench_function("run_all_cold", |b| {
+        b.iter(|| {
+            let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+            black_box(runner.run_all().digest())
+        })
+    });
+    // Cached: tuning is memoized; only sample execution repeats.
+    let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+    runner.run_all();
+    group.bench_function("run_all_cached", |b| {
+        b.iter(|| black_box(runner.run_all().digest()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_proxies, bench_suite_runner);
 criterion_main!(benches);

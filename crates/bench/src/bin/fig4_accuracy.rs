@@ -1,10 +1,10 @@
 //! Fig. 4: system and micro-architectural data accuracy on Xeon E5645.
-use dmpb_bench::{generate_suite, paper_value, PAPER_FIG4_ACCURACY};
+use dmpb_bench::{paper_value, run_suite, PAPER_FIG4_ACCURACY};
 use dmpb_metrics::table::{fmt_percent, TextTable};
 use dmpb_metrics::MetricId;
 
 fn main() {
-    let suite = generate_suite();
+    let suite = run_suite();
     let mut t = TextTable::new(
         "Fig. 4 — Average data accuracy per workload (Xeon E5645)",
         &["workload", "paper", "measured", "worst metric"],

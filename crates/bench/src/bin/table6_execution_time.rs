@@ -1,16 +1,17 @@
 //! Table VI: execution time of real workloads vs proxies on the five-node
-//! Xeon E5645 cluster.
-use dmpb_bench::{generate_suite, PAPER_TABLE6};
+//! Xeon E5645 cluster, driven by the parallel suite runner.
+use dmpb_bench::{suite_runner, PAPER_TABLE6};
 use dmpb_metrics::table::{fmt_speedup, TextTable};
 
 fn main() {
-    let suite = generate_suite();
+    let runner = suite_runner();
+    let suite = runner.run_all();
     let mut t = TextTable::new(
         "Table VI — Execution time on Xeon E5645 (5-node cluster)",
         &["workload", "real (paper)", "proxy (paper)", "real (model)", "proxy (model)", "speedup (paper)", "speedup (model)"],
     );
     for (kind, paper_real, paper_proxy) in PAPER_TABLE6 {
-        let r = suite.report(kind);
+        let r = &suite.run(kind).report;
         t.add_row(&[
             kind.to_string(),
             format!("{paper_real:.0} s"),
@@ -22,4 +23,17 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+
+    // A second run against the same cluster is served from the tuning
+    // cache: same report, no re-tuning.
+    let again = runner.run_all();
+    let stats = runner.cache_stats();
+    assert_eq!(suite.digest(), again.digest());
+    println!(
+        "tuning cache: {} hits / {} misses ({} entries); repeat-run digest {:016x} identical",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        again.digest(),
+    );
 }

@@ -9,7 +9,8 @@
 #![warn(missing_docs)]
 
 use dmpb_core::generator::GenerationReport;
-use dmpb_core::ProxySuite;
+use dmpb_core::runner::SuiteRunner;
+use dmpb_core::{ProxySuite, SuiteReport};
 use dmpb_metrics::table::TextTable;
 use dmpb_metrics::MetricId;
 use dmpb_workloads::{ClusterConfig, WorkloadKind};
@@ -64,9 +65,22 @@ pub const PAPER_FIG10_SPEEDUP: [(WorkloadKind, f64); 5] = [
     (WorkloadKind::InceptionV3, 1.3),
 ];
 
-/// Generates the five-proxy suite against the Section III cluster.
+/// Runs the five-proxy suite in parallel against the Section III cluster,
+/// returning the structured per-workload report.
+pub fn run_suite() -> SuiteReport {
+    suite_runner().run_all()
+}
+
+/// A parallel suite runner against the Section III cluster; reuse one
+/// runner across runs to benefit from the tuning cache.
+pub fn suite_runner() -> SuiteRunner {
+    SuiteRunner::new(ClusterConfig::five_node_westmere())
+}
+
+/// Generates the five-proxy suite against the Section III cluster (through
+/// the parallel runner's reports-only path).
 pub fn generate_suite() -> ProxySuite {
-    ProxySuite::generate(ClusterConfig::five_node_westmere())
+    ProxySuite::generate_parallel(ClusterConfig::five_node_westmere())
 }
 
 /// Formats a metric id with value for table cells.

@@ -64,6 +64,21 @@ pub struct TuningOutcome {
 }
 
 impl AutoTuner {
+    /// A stable fingerprint of the tuner configuration, used by the
+    /// [`crate::runner::TuningCache`] to key memoized tuning results: two
+    /// tuners with the same threshold, iteration budget and strategy
+    /// produce the same fingerprint; any difference changes it.
+    pub fn fingerprint(&self) -> u64 {
+        crate::fnv::hash_u64s([
+            self.deviation_threshold.to_bits(),
+            self.max_iterations as u64,
+            match self.strategy {
+                TunerStrategy::DecisionTree => 1,
+                TunerStrategy::Greedy => 2,
+            },
+        ])
+    }
+
     /// Runs the adjusting / feedback loop for `initial` against the
     /// original workload's `target` metric vector on `arch`.
     pub fn tune(

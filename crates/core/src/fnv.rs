@@ -1,0 +1,30 @@
+//! Crate-internal FNV-1a hashing shared by the proxy sample checksums,
+//! the tuning-cache fingerprints and the suite-report digest.
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x1000_0000_01b3;
+
+/// FNV-1a over a byte slice.
+pub(crate) fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a over the bit patterns of a float sequence.
+pub(crate) fn hash_f64s<I: IntoIterator<Item = f64>>(values: I) -> u64 {
+    hash_u64s(values.into_iter().map(f64::to_bits))
+}
+
+/// FNV-1a over a word sequence (one mixing step per word).
+pub(crate) fn hash_u64s<I: IntoIterator<Item = u64>>(values: I) -> u64 {
+    let mut h = OFFSET;
+    for v in values {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}

@@ -35,6 +35,7 @@
 
 pub mod autotune;
 pub mod dag;
+mod fnv;
 pub mod decompose;
 pub mod dtree;
 pub mod features;
@@ -42,9 +43,11 @@ pub mod generator;
 pub mod impact;
 pub mod parameters;
 pub mod proxy;
+pub mod runner;
 pub mod suite;
 
 pub use generator::{GenerationReport, ProxyGenerator};
 pub use parameters::ProxyParameters;
 pub use proxy::ProxyBenchmark;
+pub use runner::{SuiteReport, SuiteRunner, TuningCache};
 pub use suite::ProxySuite;

@@ -221,23 +221,7 @@ impl ProxyBenchmark {
     }
 }
 
-fn hash_f64s<I: IntoIterator<Item = f64>>(values: I) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for v in values {
-        h ^= v.to_bits();
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
-
-fn hash_bytes(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
+use crate::fnv::{hash_bytes, hash_f64s};
 
 /// Runs one real motif kernel on `n` generated elements and folds the
 /// result into a checksum.

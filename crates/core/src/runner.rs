@@ -1,0 +1,484 @@
+//! Parallel execution of the five-proxy suite with memoized tuning.
+//!
+//! [`crate::suite::ProxySuite::generate`] tunes the five proxies one after
+//! another; at the paper's scale that serialises five independent
+//! decision-tree tuning loops.  [`SuiteRunner`] removes both costs:
+//!
+//! * **Parallelism** — the five workloads are tuned and executed
+//!   concurrently on scoped worker threads (bounded by
+//!   [`SuiteRunner::with_max_parallel`]).  Every stage of the pipeline is
+//!   deterministic, and each proxy's sample execution is driven by a seed
+//!   derived from the runner's base seed and the workload's position via
+//!   [`dmpb_datagen::rng::derive_seed`] — so the produced [`SuiteReport`]
+//!   is byte-for-byte identical run to run regardless of thread scheduling.
+//! * **Memoization** — decision-tree tuning results are cached in a
+//!   [`TuningCache`] keyed by (workload, cluster configuration, tuner
+//!   configuration).  Repeated runs against the same cluster skip the
+//!   impact analysis, tree training and adjusting/feedback loop entirely
+//!   and reuse the qualified proxy; a changed cluster or tuner
+//!   configuration changes the key and forces a fresh tune.
+//!
+//! ```
+//! use dmpb_core::runner::SuiteRunner;
+//! use dmpb_workloads::ClusterConfig;
+//!
+//! let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+//! let first = runner.run_all();
+//! let second = runner.run_all(); // tuning served from cache
+//! assert_eq!(first.digest(), second.digest());
+//! assert!(runner.cache_stats().hits >= 5);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use dmpb_datagen::rng::derive_seed;
+use crate::fnv::hash_bytes;
+use dmpb_metrics::table::{fmt_percent, fmt_speedup, TextTable};
+use dmpb_workloads::{ClusterConfig, WorkloadKind};
+
+use crate::generator::{GenerationReport, ProxyGenerator};
+use crate::proxy::ExecutionSummary;
+
+/// Number of elements each proxy's real sample execution processes per
+/// kernel (scaled by motif weight; see
+/// [`crate::proxy::ProxyBenchmark::execute_sample`]).
+pub const SAMPLE_ELEMENTS: usize = 2_000;
+
+/// Cache key for one tuning run: the workload plus fingerprints of the
+/// cluster and tuner configurations that shaped the tune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TuningKey {
+    /// The workload the proxy was tuned for.
+    pub kind: WorkloadKind,
+    /// Fingerprint of the cluster configuration the tune targeted.
+    pub cluster_fingerprint: u64,
+    /// Fingerprint of the tuner + feature-selection configuration.
+    pub tuner_fingerprint: u64,
+}
+
+impl TuningKey {
+    /// Builds the key for tuning `kind` with `generator`.
+    pub fn new(kind: WorkloadKind, generator: &ProxyGenerator) -> Self {
+        Self {
+            kind,
+            cluster_fingerprint: fingerprint_cluster(&generator.cluster),
+            tuner_fingerprint: generator.tuner.fingerprint()
+                ^ hash_bytes(format!("{:?}", generator.features).as_bytes()),
+        }
+    }
+}
+
+/// Fingerprints a cluster configuration for cache keying.  Every field of
+/// [`ClusterConfig`] (including the nested node and architecture profiles)
+/// participates via its `Debug` rendering, so any change to the cluster —
+/// node count, memory, cache geometry, frequency — produces a different
+/// fingerprint.
+pub fn fingerprint_cluster(cluster: &ClusterConfig) -> u64 {
+    hash_bytes(format!("{cluster:?}").as_bytes())
+}
+
+/// Counters describing a [`TuningCache`]'s effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh tune.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// A memo table of tuning results keyed by [`TuningKey`].
+///
+/// The cache is thread-safe: the five workloads of a suite run probe it
+/// concurrently.  Hit/miss counters are cumulative over the cache's
+/// lifetime.
+#[derive(Debug, Default)]
+pub struct TuningCache {
+    entries: Mutex<HashMap<TuningKey, GenerationReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TuningCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a tuning result, counting a hit or miss.
+    pub fn lookup(&self, key: &TuningKey) -> Option<GenerationReport> {
+        let found = self
+            .entries
+            .lock()
+            .expect("tuning cache poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(report) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(report)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a tuning result.
+    pub fn insert(&self, key: TuningKey, report: GenerationReport) {
+        self.entries
+            .lock()
+            .expect("tuning cache poisoned")
+            .insert(key, report);
+    }
+
+    /// Snapshot of the hit/miss counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("tuning cache poisoned").len(),
+        }
+    }
+}
+
+/// One workload's slice of a suite run.
+#[derive(Debug, Clone)]
+pub struct ProxyRun {
+    /// The workload this proxy stands in for.
+    pub kind: WorkloadKind,
+    /// Seed that drove this proxy's sample execution, derived
+    /// deterministically from the runner's base seed.
+    pub seed: u64,
+    /// The (possibly cache-served) generation report.
+    pub report: GenerationReport,
+    /// Result of really executing the proxy's motif kernels on generated
+    /// sample data.
+    pub execution: ExecutionSummary,
+}
+
+/// The structured result of one parallel suite run, consumed by the bench
+/// binaries.
+///
+/// A `SuiteReport` contains only deterministic payload — generation
+/// reports, derived seeds and kernel checksums — and none of the runner's
+/// cache telemetry, so two runs with the same base seed are byte-for-byte
+/// identical whether or not the second was served from the tuning cache
+/// (compare with [`SuiteReport::digest`]).  Cache telemetry lives on the
+/// runner ([`SuiteRunner::cache_stats`]).
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Reporting name of the cluster the suite was generated against.
+    pub cluster_name: &'static str,
+    /// The seed the per-proxy seeds were derived from.
+    pub base_seed: u64,
+    /// Per-workload results in [`WorkloadKind::ALL`] order.
+    pub runs: Vec<ProxyRun>,
+}
+
+impl SuiteReport {
+    /// The run for one workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report does not contain `kind` (a full suite run
+    /// always contains every workload).
+    pub fn run(&self, kind: WorkloadKind) -> &ProxyRun {
+        self.runs
+            .iter()
+            .find(|r| r.kind == kind)
+            .expect("suite report contains every workload kind")
+    }
+
+    /// The generation reports in [`WorkloadKind::ALL`] order.
+    pub fn reports(&self) -> impl Iterator<Item = &GenerationReport> {
+        self.runs.iter().map(|r| &r.report)
+    }
+
+    /// Average accuracy across the five proxies.
+    pub fn average_accuracy(&self) -> f64 {
+        self.runs.iter().map(|r| r.report.accuracy.average()).sum::<f64>()
+            / self.runs.len().max(1) as f64
+    }
+
+    /// Minimum runtime speedup across the five proxies.
+    pub fn min_speedup(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(|r| r.report.speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// A stable digest over the full report contents.  Two runs with the
+    /// same base seed on the same cluster produce the same digest; any
+    /// change to a metric, parameter, seed or checksum changes it.
+    pub fn digest(&self) -> u64 {
+        hash_bytes(format!("{self:?}").as_bytes())
+    }
+
+    /// Renders the suite as a summary table (one row per workload).
+    pub fn summary_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!("Proxy suite on {}", self.cluster_name),
+            &["workload", "accuracy", "speedup", "iterations", "qualified", "sample checksum"],
+        );
+        for run in &self.runs {
+            t.add_row(&[
+                run.kind.to_string(),
+                fmt_percent(run.report.accuracy.average()),
+                fmt_speedup(run.report.speedup),
+                run.report.iterations.to_string(),
+                if run.report.qualified { "yes" } else { "no" }.to_string(),
+                format!("{:016x}", run.execution.checksum),
+            ]);
+        }
+        t
+    }
+}
+
+/// Parallel, cache-backed driver for the five-proxy suite.
+///
+/// See the [module documentation](self) for the design; the short version:
+/// [`SuiteRunner::run_all`] tunes and executes all five proxies
+/// concurrently, deterministic in its output, and memoizes tuning results
+/// in a [`TuningCache`] so repeated runs against the same cluster skip
+/// re-tuning.
+#[derive(Debug)]
+pub struct SuiteRunner {
+    generator: ProxyGenerator,
+    base_seed: u64,
+    max_parallel: usize,
+    cache: TuningCache,
+}
+
+impl SuiteRunner {
+    /// A runner with the paper's generator defaults on `cluster`, the
+    /// default base seed, and one worker per workload.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        Self::with_generator(ProxyGenerator::new(cluster))
+    }
+
+    /// A runner around an explicit generator configuration.
+    pub fn with_generator(generator: ProxyGenerator) -> Self {
+        Self {
+            generator,
+            base_seed: 0x00D4_17A4_0F1F,
+            max_parallel: WorkloadKind::ALL.len(),
+            cache: TuningCache::new(),
+        }
+    }
+
+    /// Sets the base seed the per-proxy sample-execution seeds are derived
+    /// from.
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Bounds the number of concurrently tuned workloads (clamped to
+    /// `1..=5`).
+    pub fn with_max_parallel(mut self, workers: usize) -> Self {
+        self.max_parallel = workers.clamp(1, WorkloadKind::ALL.len());
+        self
+    }
+
+    /// The generator driving decomposition and tuning.
+    pub fn generator(&self) -> &ProxyGenerator {
+        &self.generator
+    }
+
+    /// Snapshot of the tuning cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Tunes (or fetches from cache) and executes one workload's proxy.
+    /// The per-proxy seed is derived from the base seed and the workload's
+    /// position in [`WorkloadKind::ALL`].
+    pub fn run_kind(&self, kind: WorkloadKind) -> ProxyRun {
+        let index = WorkloadKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind is one of the five workloads");
+        self.run_indexed(index, kind)
+    }
+
+    /// Tunes `kind`'s proxy, served from the cache when possible.
+    fn tuned_report(&self, kind: WorkloadKind) -> GenerationReport {
+        let key = TuningKey::new(kind, &self.generator);
+        match self.cache.lookup(&key) {
+            Some(report) => report,
+            None => {
+                let report = self.generator.generate_kind(kind);
+                self.cache.insert(key, report.clone());
+                report
+            }
+        }
+    }
+
+    fn run_indexed(&self, index: usize, kind: WorkloadKind) -> ProxyRun {
+        let report = self.tuned_report(kind);
+        let seed = derive_seed(self.base_seed, index as u64);
+        let execution = report.proxy.execute_sample(SAMPLE_ELEMENTS, seed);
+        ProxyRun { kind, seed, report, execution }
+    }
+
+    /// Maps every workload through `work` on up to `max_parallel` scoped
+    /// worker threads, returning results in [`WorkloadKind::ALL`] order.
+    fn map_kinds<T: Send + Sync>(&self, work: impl Fn(usize, WorkloadKind) -> T + Sync) -> Vec<T> {
+        let kinds = WorkloadKind::ALL;
+        let slots: Vec<OnceLock<T>> = kinds.iter().map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.max_parallel.clamp(1, kinds.len());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= kinds.len() {
+                        break;
+                    }
+                    let result = work(index, kinds[index]);
+                    assert!(slots[index].set(result).is_ok(), "suite slot filled twice");
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every workload produced a result"))
+            .collect()
+    }
+
+    /// Tunes all five proxies in parallel without executing their sample
+    /// kernels — the cheaper path when only the [`GenerationReport`]s are
+    /// needed (e.g. [`crate::suite::ProxySuite::generate_parallel`]).
+    pub fn tune_all(&self) -> Vec<GenerationReport> {
+        self.map_kinds(|_, kind| self.tuned_report(kind))
+    }
+
+    /// Runs the whole suite: all five workloads tuned and executed in
+    /// parallel.  The returned report lists workloads in
+    /// [`WorkloadKind::ALL`] order and is identical run to run for a given
+    /// base seed, independent of worker count and thread scheduling.
+    pub fn run_all(&self) -> SuiteReport {
+        SuiteReport {
+            cluster_name: self.generator.cluster.name,
+            base_seed: self.base_seed,
+            runs: self.map_kinds(|index, kind| self.run_indexed(index, kind)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autotune::TunerStrategy;
+
+    #[test]
+    fn run_all_covers_every_workload_in_order() {
+        let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+        let report = runner.run_all();
+        let kinds: Vec<WorkloadKind> = report.runs.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, WorkloadKind::ALL.to_vec());
+        for run in &report.runs {
+            assert!(run.report.accuracy.average() > 0.5, "{}", run.kind);
+            assert!(run.report.speedup > 10.0, "{}", run.kind);
+            assert!(run.execution.kernels_run > 0);
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_byte_identical_and_cache_served() {
+        let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+        let first = runner.run_all();
+        let after_first = runner.cache_stats();
+        assert_eq!(after_first.hits, 0);
+        assert_eq!(after_first.misses, 5);
+        assert_eq!(after_first.entries, 5);
+
+        let second = runner.run_all();
+        let after_second = runner.cache_stats();
+        assert_eq!(after_second.hits, 5, "second run must hit the cache for every workload");
+        assert_eq!(after_second.misses, 5);
+
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+        assert_eq!(first.digest(), second.digest());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let parallel = SuiteRunner::new(ClusterConfig::five_node_westmere()).run_all();
+        let serial = SuiteRunner::new(ClusterConfig::five_node_westmere())
+            .with_max_parallel(1)
+            .run_all();
+        assert_eq!(parallel.digest(), serial.digest());
+    }
+
+    #[test]
+    fn base_seed_changes_sample_execution_but_not_tuning() {
+        let a = SuiteRunner::new(ClusterConfig::five_node_westmere()).run_all();
+        let b = SuiteRunner::new(ClusterConfig::five_node_westmere())
+            .with_base_seed(99)
+            .run_all();
+        assert_ne!(a.digest(), b.digest());
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_ne!(ra.seed, rb.seed);
+            assert_eq!(
+                ra.report.proxy.parameters(),
+                rb.report.proxy.parameters(),
+                "tuning is independent of the sample seed"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_parameters_to_a_fresh_tune() {
+        let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+        let fresh = runner.run_kind(WorkloadKind::TeraSort);
+        let cached = runner.run_kind(WorkloadKind::TeraSort);
+        assert_eq!(runner.cache_stats().hits, 1);
+        assert_eq!(
+            fresh.report.proxy.parameters(),
+            cached.report.proxy.parameters()
+        );
+        assert_eq!(fresh.report.proxy_metrics, cached.report.proxy_metrics);
+    }
+
+    #[test]
+    fn different_cluster_config_misses_the_cache() {
+        let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+        let _ = runner.run_kind(WorkloadKind::TeraSort);
+        let key_a = TuningKey::new(WorkloadKind::TeraSort, runner.generator());
+
+        let other = ProxyGenerator::new(ClusterConfig::three_node_haswell());
+        let key_b = TuningKey::new(WorkloadKind::TeraSort, &other);
+        assert_ne!(key_a, key_b);
+        assert!(runner.cache.lookup(&key_b).is_none());
+    }
+
+    #[test]
+    fn different_tuner_config_changes_the_key() {
+        let cluster = ClusterConfig::five_node_westmere();
+        let tree = ProxyGenerator::new(cluster);
+        let greedy = ProxyGenerator::new(cluster).with_greedy_tuner();
+        assert_ne!(
+            TuningKey::new(WorkloadKind::KMeans, &tree),
+            TuningKey::new(WorkloadKind::KMeans, &greedy)
+        );
+        assert_eq!(greedy.tuner.strategy, TunerStrategy::Greedy);
+    }
+
+    #[test]
+    fn summary_table_lists_all_five_rows() {
+        let report = SuiteRunner::new(ClusterConfig::five_node_westmere()).run_all();
+        let rendered = report.summary_table().render();
+        for kind in WorkloadKind::ALL {
+            assert!(rendered.contains(&kind.to_string()), "{kind} missing:\n{rendered}");
+        }
+    }
+}

@@ -3,6 +3,7 @@
 use dmpb_workloads::{ClusterConfig, WorkloadKind};
 
 use crate::generator::{GenerationReport, ProxyGenerator};
+use crate::runner::SuiteRunner;
 
 /// The five generated proxy benchmarks (Proxy TeraSort, Proxy K-means,
 /// Proxy PageRank, Proxy AlexNet, Proxy Inception-V3) with their
@@ -22,6 +23,19 @@ impl ProxySuite {
             .iter()
             .map(|&kind| generator.generate_kind(kind))
             .collect();
+        Self { reports }
+    }
+
+    /// Generates all five proxies concurrently through a
+    /// [`SuiteRunner`]; equivalent to [`ProxySuite::generate`] but bounded
+    /// by the slowest single tune rather than the sum of all five.
+    pub fn generate_parallel(cluster: ClusterConfig) -> Self {
+        Self::from_reports(SuiteRunner::new(cluster).tune_all())
+    }
+
+    /// Wraps pre-computed generation reports (e.g. a
+    /// [`crate::runner::SuiteReport`]'s).
+    pub fn from_reports(reports: Vec<GenerationReport>) -> Self {
         Self { reports }
     }
 
@@ -56,6 +70,19 @@ impl ProxySuite {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_generation_matches_serial_generation() {
+        let cluster = ClusterConfig::five_node_westmere();
+        let serial = ProxySuite::generate(cluster);
+        let parallel = ProxySuite::generate_parallel(cluster);
+        assert_eq!(serial.reports().len(), parallel.reports().len());
+        for (s, p) in serial.reports().iter().zip(parallel.reports()) {
+            assert_eq!(s.kind, p.kind);
+            assert_eq!(s.proxy.parameters(), p.proxy.parameters());
+            assert_eq!(s.proxy_metrics, p.proxy_metrics);
+        }
+    }
 
     #[test]
     fn suite_generates_all_five_proxies_with_high_accuracy_and_speedup() {

@@ -206,12 +206,12 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length does not match columns");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row_entries(r) {
                 acc += v * x[c as usize];
             }
-            y[r] = acc;
+            *out = acc;
         }
         y
     }

@@ -41,13 +41,13 @@ pub fn pagerank_iteration(graph: &CsrGraph, ranks: &[f64], damping: f64) -> Vec<
     let n = graph.num_vertices();
     let mut next = vec![(1.0 - damping) / n as f64; n];
     let mut dangling = 0.0;
-    for v in 0..n {
+    for (v, &rank) in ranks.iter().enumerate() {
         let degree = graph.out_degree(v);
         if degree == 0 {
-            dangling += ranks[v];
+            dangling += rank;
             continue;
         }
-        let share = damping * ranks[v] / degree as f64;
+        let share = damping * rank / degree as f64;
         for &t in graph.neighbors(v) {
             next[t as usize] += share;
         }

@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn fft_of_constant_concentrates_in_dc() {
-        let spectrum = fft_real(&vec![1.0; 16]);
+        let spectrum = fft_real(&[1.0; 16]);
         assert!(approx_eq(spectrum[0].0, 16.0));
         for &(re, im) in &spectrum[1..] {
             assert!(approx_eq(re, 0.0) && approx_eq(im, 0.0));
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn dct_of_constant_signal() {
-        let out = dct2(&vec![1.0; 8]);
+        let out = dct2(&[1.0; 8]);
         assert!(approx_eq(out[0], 8.0));
         for &v in &out[1..] {
             assert!(approx_eq(v, 0.0));

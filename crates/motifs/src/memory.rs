@@ -11,8 +11,7 @@
 //! profile, and the arena is used by the big-data kernels for their
 //! intermediate buffers.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Statistics of one arena's allocation and collection activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -106,7 +105,7 @@ impl ManagedArena {
     /// collection first.
     pub fn allocate(&self, len: usize) -> ManagedBuffer {
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().expect("arena mutex poisoned");
             inner.stats.allocations += 1;
             inner.stats.allocated_bytes += len as u64;
             if inner.live_bytes + inner.dead_bytes + len as u64 > inner.threshold_bytes {
@@ -124,19 +123,19 @@ impl ManagedArena {
     }
 
     fn mark_dead(&self, len: u64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("arena mutex poisoned");
         inner.live_bytes = inner.live_bytes.saturating_sub(len);
         inner.dead_bytes += len;
     }
 
     /// Live (reachable) bytes currently allocated.
     pub fn live_bytes(&self) -> u64 {
-        self.inner.lock().live_bytes
+        self.inner.lock().expect("arena mutex poisoned").live_bytes
     }
 
     /// Snapshot of the allocation / collection statistics.
     pub fn stats(&self) -> ArenaStats {
-        self.inner.lock().stats
+        self.inner.lock().expect("arena mutex poisoned").stats
     }
 }
 

@@ -6,8 +6,6 @@
 //! results.  [`ChunkedExecutor`] reproduces that shape with scoped threads:
 //! the caller supplies a per-chunk map function and a combine function.
 
-use crossbeam::thread as cb_thread;
-
 /// Runs `map` over equal chunks of `items` on `num_tasks` worker threads
 /// and folds the per-chunk results with `combine`.
 ///
@@ -40,18 +38,17 @@ where
     let num_tasks = num_tasks.min(items.len());
     let chunk_len = items.len().div_ceil(num_tasks);
 
-    let results: Vec<R> = cb_thread::scope(|scope| {
+    let results: Vec<R> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_tasks);
         for (index, chunk) in items.chunks(chunk_len).enumerate() {
             let map = &map;
-            handles.push(scope.spawn(move |_| map(index, chunk)));
+            handles.push(scope.spawn(move || map(index, chunk)));
         }
         handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
-    })
-    .expect("thread scope failed");
+    });
 
     results.into_iter().reduce(combine)
 }

@@ -94,16 +94,17 @@ impl InceptionV3 {
     /// The Inception-V3 layer graph.
     pub fn network() -> NetworkSpec {
         use MotifKind::*;
-        let mut layers = Vec::new();
         // Stem: 299x299x3 -> 35x35x192.
-        layers.push(LayerSpec::new(Convolution, 299, 299, 3, 3));
-        layers.push(LayerSpec::new(Convolution, 149, 149, 32, 3));
-        layers.push(LayerSpec::new(Convolution, 147, 147, 32, 3));
-        layers.push(LayerSpec::new(MaxPooling, 147, 147, 64, 3));
-        layers.push(LayerSpec::new(Convolution, 73, 73, 64, 1));
-        layers.push(LayerSpec::new(Convolution, 73, 73, 80, 3));
-        layers.push(LayerSpec::new(MaxPooling, 71, 71, 192, 3));
-        layers.push(LayerSpec::new(BatchNormalization, 35, 35, 192, 1));
+        let mut layers = vec![
+            LayerSpec::new(Convolution, 299, 299, 3, 3),
+            LayerSpec::new(Convolution, 149, 149, 32, 3),
+            LayerSpec::new(Convolution, 147, 147, 32, 3),
+            LayerSpec::new(MaxPooling, 147, 147, 64, 3),
+            LayerSpec::new(Convolution, 73, 73, 64, 1),
+            LayerSpec::new(Convolution, 73, 73, 80, 3),
+            LayerSpec::new(MaxPooling, 71, 71, 192, 3),
+            LayerSpec::new(BatchNormalization, 35, 35, 192, 1),
+        ];
         // 3 × Inception-A at 35x35.
         for _ in 0..3 {
             Self::inception_a(&mut layers, 35, 288);

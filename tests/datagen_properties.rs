@@ -1,0 +1,84 @@
+//! Property-style invariant tests for the data generators: seed
+//! determinism (same seed ⇒ identical output) and sparsity fidelity
+//! (generated matrices / vector sets are within ε of the requested
+//! sparsity).
+
+use data_motif_proxy::datagen::graph::{GraphGenerator, GraphSpec};
+use data_motif_proxy::datagen::matrix::MatrixSpec;
+use data_motif_proxy::datagen::text::TextGenerator;
+use data_motif_proxy::datagen::vectors::{VectorDataset, VectorDatasetSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn text_generation_is_seed_deterministic(seed in 0u64..10_000, count in 0usize..500) {
+        let a = TextGenerator::new(seed).generate(count);
+        let b = TextGenerator::new(seed).generate(count);
+        prop_assert_eq!(a.as_bytes(), b.as_bytes());
+        prop_assert_eq!(a.len(), count);
+    }
+
+    #[test]
+    fn dense_matrix_generation_is_seed_deterministic(seed in 0u64..10_000, n in 1usize..24) {
+        let a = MatrixSpec::dense(n, n + 1, seed).generate_dense();
+        let b = MatrixSpec::dense(n, n + 1, seed).generate_dense();
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn sparse_matrix_generation_is_seed_deterministic(seed in 0u64..10_000, n in 4usize..32) {
+        let a = MatrixSpec::sparse(n, n, 0.8, seed).generate_sparse();
+        let b = MatrixSpec::sparse(n, n, 0.8, seed).generate_sparse();
+        prop_assert_eq!(a.nnz(), b.nnz());
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        prop_assert_eq!(a.spmv(&xs), b.spmv(&xs));
+    }
+
+    #[test]
+    fn graph_generation_is_seed_deterministic(seed in 0u64..10_000, vertices in 8usize..200) {
+        let a = GraphGenerator::new(GraphSpec::power_law(vertices, 4, seed)).generate();
+        let b = GraphGenerator::new(GraphSpec::power_law(vertices, 4, seed)).generate();
+        prop_assert_eq!(a.num_vertices(), b.num_vertices());
+        prop_assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..a.num_vertices() {
+            prop_assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_different_text(seed in 0u64..10_000) {
+        let a = TextGenerator::new(seed).generate(64);
+        let b = TextGenerator::new(seed + 1).generate(64);
+        prop_assert_ne!(a.as_bytes(), b.as_bytes());
+    }
+
+    #[test]
+    fn generated_matrix_sparsity_is_within_epsilon(seed in 0u64..10_000, tenths in 1u64..9) {
+        let requested = tenths as f64 / 10.0;
+        let m = MatrixSpec::sparse(96, 96, requested, seed).generate_sparse();
+        prop_assert!(
+            (m.sparsity() - requested).abs() < 0.05,
+            "requested sparsity {requested}, generated {}",
+            m.sparsity()
+        );
+    }
+
+    #[test]
+    fn generated_vector_sparsity_is_within_epsilon(seed in 0u64..10_000) {
+        // The paper's K-means input: 90 % sparse vectors.
+        let data = VectorDataset::generate(VectorDatasetSpec::sparse(200, 64, seed));
+        prop_assert!(
+            (data.measured_sparsity() - 0.9).abs() < 0.05,
+            "measured sparsity {}",
+            data.measured_sparsity()
+        );
+    }
+
+    #[test]
+    fn dense_vectors_have_zero_sparsity(seed in 0u64..10_000) {
+        let data = VectorDataset::generate(VectorDatasetSpec::dense(50, 16, seed));
+        prop_assert!(data.measured_sparsity() < 1e-9);
+    }
+}

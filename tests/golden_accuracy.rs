@@ -1,0 +1,60 @@
+//! Golden accuracy test: pins the Table VI-style behaviour of the five
+//! proxies on the Westmere cluster model.
+//!
+//! The paper's Table VI shows each proxy reproducing its workload's
+//! runtime behaviour at a ~100x speedup.  A proxy's absolute runtime is
+//! *deliberately* orders of magnitude smaller than the original's, so the
+//! meaningful "runtime deviation" is over the architecture-normalised
+//! execution rate — IPC, the metric that determines runtime once the data
+//! size is scaled out.  This suite pins:
+//!
+//! * IPC deviation ≤ 15 % between each proxy and its real workload;
+//! * runtime speedup ≥ 100x for every proxy (Table VI shows 136x–743x);
+//! * suite-level average metric accuracy, as a regression floor.
+
+use data_motif_proxy::core::runner::SuiteRunner;
+use data_motif_proxy::metrics::MetricId;
+use data_motif_proxy::workloads::ClusterConfig;
+
+#[test]
+fn proxies_match_real_runtime_behaviour_on_westmere() {
+    let suite = SuiteRunner::new(ClusterConfig::five_node_westmere()).run_all();
+
+    for run in &suite.runs {
+        let report = &run.report;
+        let real_ipc = report.real_metrics.get(MetricId::Ipc);
+        let proxy_ipc = report.proxy_metrics.get(MetricId::Ipc);
+        let deviation = (proxy_ipc - real_ipc).abs() / real_ipc;
+        assert!(
+            deviation <= 0.15,
+            "{}: IPC deviation {:.1}% exceeds 15% (real {real_ipc:.3}, proxy {proxy_ipc:.3})",
+            run.kind,
+            deviation * 100.0
+        );
+
+        assert!(
+            report.speedup >= 100.0,
+            "{}: speedup {:.0}x is below the Table VI ~100x floor",
+            run.kind,
+            report.speedup
+        );
+
+        // Regression floor for the per-workload metric-vector accuracy
+        // (Equation 3 averaged over the tunable metrics).  The paper
+        // reaches >90 %; the reproduction currently reaches 61–87 % —
+        // these floors pin today's behaviour so it can only improve.
+        assert!(
+            report.accuracy.average() >= 0.60,
+            "{}: average accuracy {:.1}% fell below the pinned floor",
+            run.kind,
+            report.accuracy.average() * 100.0
+        );
+    }
+
+    assert!(
+        suite.average_accuracy() >= 0.70,
+        "suite average accuracy {:.1}% fell below the pinned floor",
+        suite.average_accuracy() * 100.0
+    );
+    assert!(suite.min_speedup() >= 100.0);
+}
