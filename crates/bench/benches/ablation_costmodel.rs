@@ -14,17 +14,24 @@ fn bench_costmodel(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for &n in &[10_000usize, 40_000] {
         let keys = TextGenerator::new(1).generate(n).keys();
-        group.bench_with_input(BenchmarkId::new("quick_sort_wallclock", n), &keys, |b, keys| {
-            b.iter(|| {
-                let mut k = keys.clone();
-                sort::quick_sort(&mut k);
-                black_box(k.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("quick_sort_wallclock", n),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let mut k = keys.clone();
+                    sort::quick_sort(&mut k);
+                    black_box(k.len())
+                })
+            },
+        );
         // Print the cost-model prediction once per size for comparison.
         let data = TextGenerator::descriptor((n * 100) as u64);
         let profile = MotifKind::QuickSort.cost_profile(&data, &MotifConfig::big_data_default());
-        eprintln!("cost-model instructions for n={n}: {}", profile.total_instructions());
+        eprintln!(
+            "cost-model instructions for n={n}: {}",
+            profile.total_instructions()
+        );
     }
     group.finish();
 }

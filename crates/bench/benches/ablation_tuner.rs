@@ -22,10 +22,17 @@ fn bench_tuner(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for (name, strategy) in [("decision_tree", TunerStrategy::DecisionTree), ("greedy", TunerStrategy::Greedy)] {
+    for (name, strategy) in [
+        ("decision_tree", TunerStrategy::DecisionTree),
+        ("greedy", TunerStrategy::Greedy),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let tuner = AutoTuner { strategy, max_iterations: 3, ..AutoTuner::default() };
+                let tuner = AutoTuner {
+                    strategy,
+                    max_iterations: 3,
+                    ..AutoTuner::default()
+                };
                 let outcome = tuner.tune(proxy.clone(), &target, &cluster.node.arch, &metrics);
                 black_box(outcome.accuracy.average())
             })

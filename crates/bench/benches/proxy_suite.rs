@@ -35,7 +35,7 @@ fn bench_proxies(c: &mut Criterion) {
 fn bench_suite_runner(c: &mut Criterion) {
     let mut group = c.benchmark_group("suite_runner");
     group.sample_size(3);
-    // Cold: every iteration tunes all five workloads from scratch.
+    // Cold: every iteration tunes all eight workloads from scratch.
     group.bench_function("run_all_cold", |b| {
         b.iter(|| {
             let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());

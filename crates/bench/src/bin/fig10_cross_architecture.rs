@@ -1,6 +1,6 @@
 //! Fig. 10: runtime speedup across Westmere and Haswell processors for the
 //! real workloads and their proxies.
-use dmpb_bench::{generate_suite, paper_value, PAPER_FIG10_SPEEDUP};
+use dmpb_bench::{fmt_paper_or_dash, generate_suite, paper_value, PAPER_FIG10_SPEEDUP};
 use dmpb_metrics::table::TextTable;
 use dmpb_workloads::{workload_by_kind, ClusterConfig};
 
@@ -10,20 +10,30 @@ fn main() {
     let haswell = ClusterConfig::three_node_haswell();
     let mut t = TextTable::new(
         "Fig. 10 — Runtime speedup across Westmere and Haswell",
-        &["workload", "real speedup (paper)", "real speedup (model)", "proxy speedup (model)"],
+        &[
+            "workload",
+            "real speedup (paper)",
+            "real speedup (model)",
+            "proxy speedup (model)",
+        ],
     );
     for r in suite.reports() {
         let workload = workload_by_kind(r.kind);
-        let real_speedup = workload.measure(&westmere).runtime_secs / workload.measure(&haswell).runtime_secs;
+        let real_speedup =
+            workload.measure(&westmere).runtime_secs / workload.measure(&haswell).runtime_secs;
         let proxy_speedup = r.proxy.measure(&westmere.node.arch).runtime_secs
             / r.proxy.measure(&haswell.node.arch).runtime_secs;
         t.add_row(&[
             r.kind.to_string(),
-            format!("{:.2}x", paper_value(&PAPER_FIG10_SPEEDUP, r.kind)),
+            fmt_paper_or_dash(paper_value(&PAPER_FIG10_SPEEDUP, r.kind), |v| {
+                format!("{v:.2}x")
+            }),
             format!("{real_speedup:.2}x"),
             format!("{proxy_speedup:.2}x"),
         ]);
     }
     println!("{}", t.render());
-    println!("Consistency check: the proxy speedup should track the real speedup for every workload.");
+    println!(
+        "Consistency check: the proxy speedup should track the real speedup for every workload."
+    );
 }

@@ -1,7 +1,10 @@
-//! Fig. 4: system and micro-architectural data accuracy on Xeon E5645.
-use dmpb_bench::{paper_value, run_suite, PAPER_FIG4_ACCURACY};
+//! Fig. 4: system and micro-architectural data accuracy on Xeon E5645,
+//! extended to the full eight-workload suite (the Spark variants have no
+//! paper bars, rendered as an em dash).
+use dmpb_bench::{fmt_paper_or_dash, paper_value, run_suite, PAPER_FIG4_ACCURACY};
 use dmpb_metrics::table::{fmt_percent, TextTable};
 use dmpb_metrics::MetricId;
+use dmpb_workloads::WorkloadKind;
 
 fn main() {
     let suite = run_suite();
@@ -11,20 +14,21 @@ fn main() {
     );
     for r in suite.reports() {
         let (worst, acc) = r.accuracy.worst_metric().unwrap();
+        let paper = paper_value(&PAPER_FIG4_ACCURACY, r.kind);
         t.add_row(&[
             r.kind.to_string(),
-            fmt_percent(paper_value(&PAPER_FIG4_ACCURACY, r.kind)),
+            fmt_paper_or_dash(paper, fmt_percent),
             fmt_percent(r.accuracy.average()),
             format!("{worst} ({:.0}%)", acc * 100.0),
         ]);
     }
     println!("{}", t.render());
 
-    // Per-metric detail for the full figure.
-    let mut d = TextTable::new(
-        "Fig. 4 (detail) — per-metric accuracy",
-        &["metric", "TeraSort", "K-means", "PageRank", "AlexNet", "Inception-V3"],
-    );
+    // Per-metric detail for the full figure, one column per workload.
+    let mut header = vec!["metric".to_string()];
+    header.extend(WorkloadKind::ALL.iter().map(|k| k.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut d = TextTable::new("Fig. 4 (detail) — per-metric accuracy", &header_refs);
     for id in MetricId::TUNABLE {
         let mut row = vec![id.name().to_string()];
         for r in suite.reports() {

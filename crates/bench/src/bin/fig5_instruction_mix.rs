@@ -6,10 +6,15 @@ fn main() {
     let suite = generate_suite();
     let mut t = TextTable::new(
         "Fig. 5 — Instruction mix breakdown (real vs proxy)",
-        &["workload", "side", "integer", "fp", "load", "store", "branch"],
+        &[
+            "workload", "side", "integer", "fp", "load", "store", "branch",
+        ],
     );
     for r in suite.reports() {
-        for (side, mix) in [("real", r.real_metrics.instruction_mix), ("proxy", r.proxy_metrics.instruction_mix)] {
+        for (side, mix) in [
+            ("real", r.real_metrics.instruction_mix),
+            ("proxy", r.proxy_metrics.instruction_mix),
+        ] {
             t.add_row(&[
                 r.kind.to_string(),
                 side.to_string(),

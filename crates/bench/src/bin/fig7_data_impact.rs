@@ -12,10 +12,26 @@ fn main() {
         "Fig. 7 — Hadoop K-means memory bandwidth, sparse (90%) vs dense (0%) input",
         &["metric", "sparse", "dense"],
     );
-    t.add_row(&["read bw (MB/s)".into(), format!("{:.0}", sparse.mem_read_bw_mbps), format!("{:.0}", dense.mem_read_bw_mbps)]);
-    t.add_row(&["write bw (MB/s)".into(), format!("{:.0}", sparse.mem_write_bw_mbps), format!("{:.0}", dense.mem_write_bw_mbps)]);
-    t.add_row(&["total bw (MB/s)".into(), format!("{:.0}", sparse.mem_total_bw_mbps()), format!("{:.0}", dense.mem_total_bw_mbps())]);
-    t.add_row(&["runtime (s)".into(), format!("{:.0}", sparse.runtime_secs), format!("{:.0}", dense.runtime_secs)]);
+    t.add_row(&[
+        "read bw (MB/s)".into(),
+        format!("{:.0}", sparse.mem_read_bw_mbps),
+        format!("{:.0}", dense.mem_read_bw_mbps),
+    ]);
+    t.add_row(&[
+        "write bw (MB/s)".into(),
+        format!("{:.0}", sparse.mem_write_bw_mbps),
+        format!("{:.0}", dense.mem_write_bw_mbps),
+    ]);
+    t.add_row(&[
+        "total bw (MB/s)".into(),
+        format!("{:.0}", sparse.mem_total_bw_mbps()),
+        format!("{:.0}", dense.mem_total_bw_mbps()),
+    ]);
+    t.add_row(&[
+        "runtime (s)".into(),
+        format!("{:.0}", sparse.runtime_secs),
+        format!("{:.0}", dense.runtime_secs),
+    ]);
     println!("{}", t.render());
     println!("Paper observation: sparse bandwidth is roughly half of dense bandwidth.");
 }

@@ -17,15 +17,31 @@ fn main() {
     // dense real run.
     let dense_real = KMeans::dense_configuration().measure(&cluster);
     let dense_proxy = proxy
-        .with_input(KMeans::dense_configuration().input_descriptor().scaled_to(proxy.parameters().data_size_bytes))
+        .with_input(
+            KMeans::dense_configuration()
+                .input_descriptor()
+                .scaled_to(proxy.parameters().data_size_bytes),
+        )
         .measure(&cluster.node.arch);
     let dense_accuracy = AccuracyReport::compare(&dense_real, &dense_proxy, &MetricId::TUNABLE);
 
     let mut t = TextTable::new(
         "Fig. 8 — Proxy K-means accuracy under different input sparsity",
-        &["input", "average accuracy (paper)", "average accuracy (measured)"],
+        &[
+            "input",
+            "average accuracy (paper)",
+            "average accuracy (measured)",
+        ],
     );
-    t.add_row(&["sparse (90%)".into(), ">91%".into(), fmt_percent(report.accuracy.average())]);
-    t.add_row(&["dense (0%)".into(), ">91%".into(), fmt_percent(dense_accuracy.average())]);
+    t.add_row(&[
+        "sparse (90%)".into(),
+        ">91%".into(),
+        fmt_percent(report.accuracy.average()),
+    ]);
+    t.add_row(&[
+        "dense (0%)".into(),
+        ">91%".into(),
+        fmt_percent(dense_accuracy.average()),
+    ]);
     println!("{}", t.render());
 }

@@ -3,7 +3,10 @@ use dmpb_core::parameters::ParameterId;
 use dmpb_metrics::table::TextTable;
 
 fn main() {
-    let mut t = TextTable::new("Table I — Tunable parameters for each data motif", &["parameter", "description"]);
+    let mut t = TextTable::new(
+        "Table I — Tunable parameters for each data motif",
+        &["parameter", "description"],
+    );
     let desc = |p: ParameterId| match p {
         ParameterId::DataSize => "Input data size for each big data motif",
         ParameterId::ChunkSize => "Data block size processed by each thread",

@@ -3,13 +3,29 @@ use dmpb_metrics::table::TextTable;
 use dmpb_perfmodel::ArchProfile;
 
 fn main() {
-    for arch in [ArchProfile::westmere_e5645(), ArchProfile::haswell_e5_2620_v3()] {
+    for arch in [
+        ArchProfile::westmere_e5645(),
+        ArchProfile::haswell_e5_2620_v3(),
+    ] {
         let mut t = TextTable::new(format!("Table IV — {}", arch.name), &["item", "value"]);
         t.add_row(&["cores/socket".into(), arch.cores_per_socket.to_string()]);
-        t.add_row(&["frequency".into(), format!("{:.2} GHz", arch.frequency_hz / 1e9)]);
-        t.add_row(&["L1 I/D".into(), format!("{} KB / {} KB", arch.l1i.size_bytes / 1024, arch.l1d.size_bytes / 1024)]);
+        t.add_row(&[
+            "frequency".into(),
+            format!("{:.2} GHz", arch.frequency_hz / 1e9),
+        ]);
+        t.add_row(&[
+            "L1 I/D".into(),
+            format!(
+                "{} KB / {} KB",
+                arch.l1i.size_bytes / 1024,
+                arch.l1d.size_bytes / 1024
+            ),
+        ]);
         t.add_row(&["L2".into(), format!("{} KB", arch.l2.size_bytes / 1024)]);
-        t.add_row(&["L3".into(), format!("{} MB", arch.l3.size_bytes / (1024 * 1024))]);
+        t.add_row(&[
+            "L3".into(),
+            format!("{} MB", arch.l3.size_bytes / (1024 * 1024)),
+        ]);
         println!("{}", t.render());
     }
 }

@@ -3,9 +3,16 @@ use dmpb_metrics::table::TextTable;
 use dmpb_metrics::MetricId;
 
 fn main() {
-    let mut t = TextTable::new("Table V — System and micro-architectural metrics", &["group", "metric"]);
+    let mut t = TextTable::new(
+        "Table V — System and micro-architectural metrics",
+        &["group", "metric"],
+    );
     for id in MetricId::ALL {
-        let group = if id.is_system() { "system" } else { "micro-architectural" };
+        let group = if id.is_system() {
+            "system"
+        } else {
+            "micro-architectural"
+        };
         t.add_str_row(&[group, id.name()]);
     }
     println!("{}", t.render());

@@ -20,7 +20,14 @@ fn main() {
     ];
     let mut t = TextTable::new(
         "Table VII — Execution time on the 3-node / 64 GB cluster",
-        &["workload", "real (paper)", "proxy (paper)", "real (model)", "proxy (model)", "speedup (model)"],
+        &[
+            "workload",
+            "real (paper)",
+            "proxy (paper)",
+            "real (model)",
+            "proxy (model)",
+            "speedup (model)",
+        ],
     );
     for (w, (kind, paper_real, paper_proxy)) in workloads.iter().zip(PAPER_TABLE7) {
         let r = generator.generate(w.as_ref());

@@ -16,7 +16,10 @@ use dmpb_metrics::MetricId;
 use dmpb_workloads::{ClusterConfig, WorkloadKind};
 
 /// Paper-reported runtimes (seconds) on the five-node Westmere cluster
-/// (Table VI): `(real, proxy)` per workload.
+/// (Table VI): `(real, proxy)` per workload.  The paper evaluates exactly
+/// the five workloads of [`WorkloadKind::PAPER_FIVE`]; the Spark variants
+/// have no published numbers, so lookups for them return `None` /
+/// [`f64::NAN`].
 pub const PAPER_TABLE6: [(WorkloadKind, f64, f64); 5] = [
     (WorkloadKind::TeraSort, 1500.0, 11.02),
     (WorkloadKind::KMeans, 5971.0, 8.03),
@@ -65,8 +68,8 @@ pub const PAPER_FIG10_SPEEDUP: [(WorkloadKind, f64); 5] = [
     (WorkloadKind::InceptionV3, 1.3),
 ];
 
-/// Runs the five-proxy suite in parallel against the Section III cluster,
-/// returning the structured per-workload report.
+/// Runs the eight-proxy suite in parallel against the Section III
+/// cluster, returning the structured per-workload report.
 pub fn run_suite() -> SuiteReport {
     suite_runner().run_all()
 }
@@ -77,8 +80,8 @@ pub fn suite_runner() -> SuiteRunner {
     SuiteRunner::new(ClusterConfig::five_node_westmere())
 }
 
-/// Generates the five-proxy suite against the Section III cluster (through
-/// the parallel runner's reports-only path).
+/// Generates the eight-proxy suite against the Section III cluster
+/// (through the parallel runner's reports-only path).
 pub fn generate_suite() -> ProxySuite {
     ProxySuite::generate_parallel(ClusterConfig::five_node_westmere())
 }
@@ -88,7 +91,11 @@ pub fn fmt_metric(report: &GenerationReport, id: MetricId) -> (String, String, S
     let real = report.real_metrics.get(id);
     let proxy = report.proxy_metrics.get(id);
     let acc = report.accuracy.get(id).unwrap_or(1.0);
-    (format!("{real:.3}"), format!("{proxy:.3}"), format!("{:.1}%", acc * 100.0))
+    (
+        format!("{real:.3}"),
+        format!("{proxy:.3}"),
+        format!("{:.1}%", acc * 100.0),
+    )
 }
 
 /// Renders and prints a table.
@@ -96,9 +103,25 @@ pub fn print_table(table: &TextTable) {
     println!("{}", table.render());
 }
 
-/// The paper value lookup helper.
+/// The paper value lookup helper (`NaN` for workloads the paper does not
+/// report, i.e. the Spark variants).
 pub fn paper_value<const N: usize>(table: &[(WorkloadKind, f64); N], kind: WorkloadKind) -> f64 {
-    table.iter().find(|(k, _)| *k == kind).map(|(_, v)| *v).unwrap_or(f64::NAN)
+    table
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map(|(_, v)| *v)
+        .unwrap_or(f64::NAN)
+}
+
+/// Formats a paper-reported value with `fmt`, rendering workloads without
+/// published numbers (the Spark variants, looked up as `NaN`) as an em
+/// dash.
+pub fn fmt_paper_or_dash(value: f64, fmt: impl Fn(f64) -> String) -> String {
+    if value.is_nan() {
+        "—".to_string()
+    } else {
+        fmt(value)
+    }
 }
 
 #[cfg(test)]
@@ -106,8 +129,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn reference_tables_cover_all_workloads() {
-        for kind in WorkloadKind::ALL {
+    fn reference_tables_cover_the_paper_workloads() {
+        for kind in WorkloadKind::PAPER_FIVE {
             assert!(PAPER_TABLE6.iter().any(|(k, _, _)| *k == kind));
             assert!(PAPER_TABLE7.iter().any(|(k, _, _)| *k == kind));
             assert!(paper_value(&PAPER_FIG4_ACCURACY, kind) > 0.9);
@@ -116,12 +139,29 @@ mod tests {
     }
 
     #[test]
+    fn spark_workloads_have_no_paper_numbers() {
+        for kind in WorkloadKind::ALL {
+            let published = !paper_value(&PAPER_FIG4_ACCURACY, kind).is_nan();
+            assert_eq!(
+                published,
+                WorkloadKind::PAPER_FIVE.contains(&kind),
+                "{kind}"
+            );
+        }
+        assert_eq!(fmt_paper_or_dash(f64::NAN, |v| format!("{v:.0} s")), "—");
+        assert_eq!(fmt_paper_or_dash(1.5, |v| format!("{v:.2}x")), "1.50x");
+    }
+
+    #[test]
     fn paper_speedups_match_the_quoted_ratios() {
         // Table VI quotes 136x / 743x / 160x / 155x / 376x.
         let expected = [136.0, 743.0, 160.0, 155.0, 376.0];
         for ((_, real, proxy), expect) in PAPER_TABLE6.iter().zip(expected) {
             let speedup = real / proxy;
-            assert!((speedup - expect).abs() / expect < 0.01, "{speedup} vs {expect}");
+            assert!(
+                (speedup - expect).abs() / expect < 0.01,
+                "{speedup} vs {expect}"
+            );
         }
     }
 }

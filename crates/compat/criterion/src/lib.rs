@@ -103,7 +103,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark parameterised by an input value.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -155,8 +160,7 @@ fn run_one(name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
         println!("{name:<60} (no samples)");
         return;
     }
-    let mean: Duration =
-        bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+    let mean: Duration = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
     let min = bencher.samples.iter().min().expect("non-empty");
     let max = bencher.samples.iter().max().expect("non-empty");
     println!(

@@ -96,7 +96,10 @@ pub mod collection {
 
     /// Vectors of `element` values with a length in `size`.
     pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
-        assert!(size.start < size.end, "vec strategy needs a non-empty size range");
+        assert!(
+            size.start < size.end,
+            "vec strategy needs a non-empty size range"
+        );
         VecStrategy { element, size }
     }
 
@@ -224,8 +227,12 @@ mod tests {
     fn same_name_same_stream() {
         let mut a = TestRng::from_name("abc");
         let mut b = TestRng::from_name("abc");
-        let sa = (0u64..8).map(|_| (0u64..1000).new_value(&mut a)).collect::<Vec<_>>();
-        let sb = (0u64..8).map(|_| (0u64..1000).new_value(&mut b)).collect::<Vec<_>>();
+        let sa = (0u64..8)
+            .map(|_| (0u64..1000).new_value(&mut a))
+            .collect::<Vec<_>>();
+        let sb = (0u64..8)
+            .map(|_| (0u64..1000).new_value(&mut b))
+            .collect::<Vec<_>>();
         assert_eq!(sa, sb);
     }
 }

@@ -303,8 +303,14 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<u64> = StdRng::seed_from_u64(7).sample_iter(Standard).take(8).collect();
-        let b: Vec<u64> = StdRng::seed_from_u64(7).sample_iter(Standard).take(8).collect();
+        let a: Vec<u64> = StdRng::seed_from_u64(7)
+            .sample_iter(Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = StdRng::seed_from_u64(7)
+            .sample_iter(Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -102,7 +102,8 @@ impl AutoTuner {
             && !best_accuracy.is_qualified(self.deviation_threshold)
         {
             iterations += 1;
-            let candidates = self.candidate_actions(&impact, &tree, target, &best_metrics, &best_accuracy);
+            let candidates =
+                self.candidate_actions(&impact, &tree, target, &best_metrics, &best_accuracy);
 
             // Feedback stage: accept the first candidate that improves the
             // average accuracy; stop if none does.
@@ -114,7 +115,8 @@ impl AutoTuner {
                 }
                 let candidate = best.with_parameters(adjusted);
                 let candidate_metrics = candidate.measure(arch);
-                let candidate_accuracy = AccuracyReport::compare(target, &candidate_metrics, metrics);
+                let candidate_accuracy =
+                    AccuracyReport::compare(target, &candidate_metrics, metrics);
                 if candidate_accuracy.average() > best_accuracy.average() + 1e-6 {
                     best = candidate;
                     best_metrics = candidate_metrics;
@@ -218,8 +220,17 @@ mod tests {
             &decompose(workload.as_ref()),
             initial_parameters(workload.as_ref(), &cluster),
         );
-        let tuner = AutoTuner { strategy, max_iterations: 12, ..AutoTuner::default() };
-        tuner.tune(proxy, &target, &cluster.node.arch, &FeatureSelection::paper_default().metrics)
+        let tuner = AutoTuner {
+            strategy,
+            max_iterations: 12,
+            ..AutoTuner::default()
+        };
+        tuner.tune(
+            proxy,
+            &target,
+            &cluster.node.arch,
+            &FeatureSelection::paper_default().metrics,
+        )
     }
 
     #[test]
@@ -241,7 +252,11 @@ mod tests {
     #[test]
     fn greedy_strategy_also_converges() {
         let outcome = tune_kind(WorkloadKind::PageRank, TunerStrategy::Greedy);
-        assert!(outcome.accuracy.average() > 0.5, "accuracy {}", outcome.accuracy.average());
+        assert!(
+            outcome.accuracy.average() > 0.5,
+            "accuracy {}",
+            outcome.accuracy.average()
+        );
     }
 
     #[test]

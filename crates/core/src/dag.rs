@@ -48,7 +48,10 @@ impl ProxyDag {
 
     /// Adds a data node and returns its id.
     pub fn add_node<S: Into<String>>(&mut self, label: S, descriptor: DataDescriptor) -> NodeId {
-        self.nodes.push(DataNode { label: label.into(), descriptor });
+        self.nodes.push(DataNode {
+            label: label.into(),
+            descriptor,
+        });
         self.nodes.len() - 1
     }
 
@@ -62,9 +65,20 @@ impl ProxyDag {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, motif: MotifKind, weight: f64) {
         assert!(from < self.nodes.len(), "unknown source node {from}");
         assert!(to < self.nodes.len(), "unknown target node {to}");
-        assert!(from < to, "edges must point forward to keep the graph acyclic");
-        assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
-        self.edges.push(MotifEdge { from, to, motif, weight });
+        assert!(
+            from < to,
+            "edges must point forward to keep the graph acyclic"
+        );
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive"
+        );
+        self.edges.push(MotifEdge {
+            from,
+            to,
+            motif,
+            weight,
+        });
     }
 
     /// The data nodes.
@@ -90,7 +104,10 @@ impl ProxyDag {
         }
         self.edges
             .iter()
-            .map(|e| MotifEdge { weight: e.weight / total, ..*e })
+            .map(|e| MotifEdge {
+                weight: e.weight / total,
+                ..*e
+            })
             .collect()
     }
 
@@ -108,10 +125,7 @@ impl ProxyDag {
         for edge in self.topological_edges() {
             out.push_str(&format!(
                 "{} --[{} w={:.2}]--> {}\n",
-                self.nodes[edge.from].label,
-                edge.motif,
-                edge.weight,
-                self.nodes[edge.to].label
+                self.nodes[edge.from].label, edge.motif, edge.weight, self.nodes[edge.to].label
             ));
         }
         out

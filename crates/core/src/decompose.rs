@@ -62,13 +62,21 @@ pub fn decompose(workload: &dyn Workload) -> Decomposition {
 
     let mut components = Vec::new();
     for &(class, ratio) in &class_ratios {
-        let kinds: Vec<MotifKind> = involved.iter().copied().filter(|k| k.class() == class).collect();
+        let kinds: Vec<MotifKind> = involved
+            .iter()
+            .copied()
+            .filter(|k| k.class() == class)
+            .collect();
         if kinds.is_empty() {
             continue;
         }
         let share = ratio / kinds.len() as f64;
         for motif in kinds {
-            components.push(MotifComponent { motif, class, weight: share });
+            components.push(MotifComponent {
+                motif,
+                class,
+                weight: share,
+            });
         }
     }
 
@@ -119,7 +127,10 @@ mod tests {
             .filter(|c| c.class == MotifClass::Sort)
             .map(|c| c.weight)
             .sum();
-        assert!((sort_weight - 0.7).abs() < 1e-6, "sort weight {sort_weight}");
+        assert!(
+            (sort_weight - 0.7).abs() < 1e-6,
+            "sort weight {sort_weight}"
+        );
     }
 
     #[test]
@@ -129,7 +140,11 @@ mod tests {
             if w.kind().is_ai() {
                 assert!(d.components.iter().all(|c| c.motif.is_ai()), "{}", w.name());
             } else {
-                assert!(d.components.iter().all(|c| !c.motif.is_ai()), "{}", w.name());
+                assert!(
+                    d.components.iter().all(|c| !c.motif.is_ai()),
+                    "{}",
+                    w.name()
+                );
             }
         }
     }

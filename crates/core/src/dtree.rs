@@ -84,7 +84,9 @@ impl DecisionTree {
         let labels: Vec<usize> = samples.iter().map(|s| s.label).collect();
         let impurity = gini(&labels, num_classes);
         if depth == 0 || impurity == 0.0 || samples.len() < 2 {
-            return DecisionTree::Leaf { label: majority(&labels, num_classes) };
+            return DecisionTree::Leaf {
+                label: majority(&labels, num_classes),
+            };
         }
 
         let dims = samples[0].features.len();
@@ -95,8 +97,9 @@ impl DecisionTree {
             values.dedup();
             for pair in values.windows(2) {
                 let threshold = (pair[0] + pair[1]) / 2.0;
-                let (left, right): (Vec<&Sample>, Vec<&Sample>) =
-                    samples.iter().partition(|s| s.features[feature] < threshold);
+                let (left, right): (Vec<&Sample>, Vec<&Sample>) = samples
+                    .iter()
+                    .partition(|s| s.features[feature] < threshold);
                 if left.is_empty() || right.is_empty() {
                     continue;
                 }
@@ -124,7 +127,9 @@ impl DecisionTree {
                     right: Box::new(Self::build(&right, depth - 1, num_classes)),
                 }
             }
-            _ => DecisionTree::Leaf { label: majority(&labels, num_classes) },
+            _ => DecisionTree::Leaf {
+                label: majority(&labels, num_classes),
+            },
         }
     }
 
@@ -132,7 +137,12 @@ impl DecisionTree {
     pub fn predict(&self, features: &[f64]) -> usize {
         match self {
             DecisionTree::Leaf { label } => *label,
-            DecisionTree::Node { feature, threshold, left, right } => {
+            DecisionTree::Node {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if features.get(*feature).copied().unwrap_or(0.0) < *threshold {
                     left.predict(features)
                 } else {
@@ -171,12 +181,30 @@ mod tests {
     fn xor_like_samples() -> Vec<Sample> {
         // Two features; label 1 iff feature 0 > 0.5 (feature 1 is noise).
         vec![
-            Sample { features: vec![0.1, 0.9], label: 0 },
-            Sample { features: vec![0.2, 0.1], label: 0 },
-            Sample { features: vec![0.3, 0.7], label: 0 },
-            Sample { features: vec![0.7, 0.2], label: 1 },
-            Sample { features: vec![0.8, 0.8], label: 1 },
-            Sample { features: vec![0.9, 0.4], label: 1 },
+            Sample {
+                features: vec![0.1, 0.9],
+                label: 0,
+            },
+            Sample {
+                features: vec![0.2, 0.1],
+                label: 0,
+            },
+            Sample {
+                features: vec![0.3, 0.7],
+                label: 0,
+            },
+            Sample {
+                features: vec![0.7, 0.2],
+                label: 1,
+            },
+            Sample {
+                features: vec![0.8, 0.8],
+                label: 1,
+            },
+            Sample {
+                features: vec![0.9, 0.4],
+                label: 1,
+            },
         ]
     }
 
@@ -197,8 +225,17 @@ mod tests {
             let a = i as f64 / 10.0;
             for j in 0..10 {
                 let b = j as f64 / 10.0;
-                let label = if a < 0.5 { 0 } else if b < 0.5 { 1 } else { 2 };
-                samples.push(Sample { features: vec![a, b], label });
+                let label = if a < 0.5 {
+                    0
+                } else if b < 0.5 {
+                    1
+                } else {
+                    2
+                };
+                samples.push(Sample {
+                    features: vec![a, b],
+                    label,
+                });
             }
         }
         let tree = DecisionTree::train(&samples, 4);
@@ -211,8 +248,14 @@ mod tests {
     #[test]
     fn pure_training_set_yields_a_leaf() {
         let samples = vec![
-            Sample { features: vec![1.0], label: 3 },
-            Sample { features: vec![2.0], label: 3 },
+            Sample {
+                features: vec![1.0],
+                label: 3,
+            },
+            Sample {
+                features: vec![2.0],
+                label: 3,
+            },
         ];
         let tree = DecisionTree::train(&samples, 5);
         assert_eq!(tree, DecisionTree::Leaf { label: 3 });

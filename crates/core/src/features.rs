@@ -9,13 +9,19 @@
 
 use dmpb_metrics::MetricId;
 use dmpb_workloads::workload::Workload;
-use dmpb_workloads::ClusterConfig;
+use dmpb_workloads::{ClusterConfig, Framework};
 
 use crate::parameters::ProxyParameters;
 
 /// How much the original input volume is scaled down for the proxy's
 /// initial `dataSize` (the auto-tuner may adjust it further).
 pub const DEFAULT_DATA_SCALE_DOWN: u64 = 512;
+
+/// Initial stack-emulation weight for a Spark-stack proxy.  Spark pipelines
+/// narrow stages and caches deserialised RDDs, so a smaller share of its
+/// time is managed-runtime overhead than under MapReduce (whose big-data
+/// default is 0.45); the auto-tuner refines it from there.
+pub const SPARK_INITIAL_FRAMEWORK_WEIGHT: f64 = 0.30;
 
 /// The metric targets and qualification threshold of a proxy generation
 /// run.
@@ -77,7 +83,11 @@ pub fn initial_parameters(workload: &dyn Workload, cluster: &ClusterConfig) -> P
         };
         ProxyParameters::ai(data_size, num_tasks, batch, geometry)
     } else {
-        ProxyParameters::big_data(data_size, num_tasks)
+        let mut params = ProxyParameters::big_data(data_size, num_tasks);
+        if workload.kind().framework() == Framework::Spark {
+            params.framework_weight = SPARK_INITIAL_FRAMEWORK_WEIGHT;
+        }
+        params
     }
 }
 
@@ -113,10 +123,39 @@ mod tests {
     }
 
     #[test]
+    fn spark_proxies_start_with_a_lighter_stack_emulation_weight() {
+        let cluster = ClusterConfig::five_node_westmere();
+        for w in all_workloads() {
+            let p = initial_parameters(w.as_ref(), &cluster);
+            match w.kind().framework() {
+                dmpb_workloads::Framework::Spark => {
+                    assert_eq!(
+                        p.framework_weight,
+                        SPARK_INITIAL_FRAMEWORK_WEIGHT,
+                        "{}",
+                        w.name()
+                    );
+                }
+                dmpb_workloads::Framework::Hadoop => {
+                    assert!(
+                        p.framework_weight > SPARK_INITIAL_FRAMEWORK_WEIGHT,
+                        "{}",
+                        w.name()
+                    );
+                }
+                dmpb_workloads::Framework::TensorFlow => {}
+            }
+        }
+    }
+
+    #[test]
     fn ai_parameters_follow_the_network_input() {
         let cluster = ClusterConfig::five_node_westmere();
         let workloads = all_workloads();
-        let inception = workloads.iter().find(|w| w.kind() == WorkloadKind::InceptionV3).unwrap();
+        let inception = workloads
+            .iter()
+            .find(|w| w.kind() == WorkloadKind::InceptionV3)
+            .unwrap();
         let p = initial_parameters(inception.as_ref(), &cluster);
         assert_eq!(p.batch_size, 32);
         assert_eq!(p.geometry, (35, 35, 192));

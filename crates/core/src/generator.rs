@@ -100,8 +100,8 @@ impl ProxyGenerator {
         }
     }
 
-    /// Generates a qualified proxy for one of the five paper workloads in
-    /// its Section III configuration.
+    /// Generates a qualified proxy for one of the eight suite workloads in
+    /// its reference (Section III-style) configuration.
     pub fn generate_kind(&self, kind: WorkloadKind) -> GenerationReport {
         self.generate(workload_by_kind(kind).as_ref())
     }
@@ -127,9 +127,14 @@ mod tests {
 
     #[test]
     fn greedy_generator_also_produces_a_proxy() {
-        let generator = ProxyGenerator::new(ClusterConfig::five_node_westmere()).with_greedy_tuner();
+        let generator =
+            ProxyGenerator::new(ClusterConfig::five_node_westmere()).with_greedy_tuner();
         let report = generator.generate_kind(WorkloadKind::AlexNet);
-        assert!(report.accuracy.average() > 0.6, "accuracy {}", report.accuracy.average());
+        assert!(
+            report.accuracy.average() > 0.6,
+            "accuracy {}",
+            report.accuracy.average()
+        );
         assert!(report.speedup > 10.0, "speedup {}", report.speedup);
     }
 }

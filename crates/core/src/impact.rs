@@ -59,10 +59,16 @@ pub fn analyze(proxy: &ProxyBenchmark, arch: &ArchProfile, metrics: &[MetricId])
                     }
                 })
                 .collect();
-            entries.push(ImpactEntry { action: (parameter, direction), deltas });
+            entries.push(ImpactEntry {
+                action: (parameter, direction),
+                deltas,
+            });
         }
     }
-    ImpactAnalysis { metrics: metrics.to_vec(), entries }
+    ImpactAnalysis {
+        metrics: metrics.to_vec(),
+        entries,
+    }
 }
 
 impl ImpactAnalysis {
@@ -123,9 +129,17 @@ mod tests {
     #[test]
     fn impact_table_covers_both_directions_of_most_parameters() {
         let arch = ArchProfile::westmere_e5645();
-        let metrics = [MetricId::Ipc, MetricId::DiskIoBandwidth, MetricId::L1dHitRatio];
+        let metrics = [
+            MetricId::Ipc,
+            MetricId::DiskIoBandwidth,
+            MetricId::L1dHitRatio,
+        ];
         let analysis = analyze(&terasort_proxy(), &arch, &metrics);
-        assert!(analysis.entries.len() >= 8, "entries {}", analysis.entries.len());
+        assert!(
+            analysis.entries.len() >= 8,
+            "entries {}",
+            analysis.entries.len()
+        );
         assert!(analysis.entries.iter().all(|e| e.deltas.len() == 3));
     }
 
@@ -147,7 +161,11 @@ mod tests {
         let analysis = analyze(&terasort_proxy(), &arch, &metrics);
         if let Some(action) = analysis.best_greedy_action(MetricId::DiskIoBandwidth, 1.0) {
             let index = 0;
-            let entry = analysis.entries.iter().find(|e| e.action == action).unwrap();
+            let entry = analysis
+                .entries
+                .iter()
+                .find(|e| e.action == action)
+                .unwrap();
             assert!(entry.deltas[index] > 0.0);
         }
     }

@@ -26,19 +26,20 @@
 //!    are fed back to the adjusting stage.
 //!
 //! The result is a [`proxy::ProxyBenchmark`] (see [`generator`] for the
-//! end-to-end driver and [`suite`] for the five proxies of the paper's
-//! evaluation), which can be measured under the shared performance-model
-//! instrument or executed for real on generated sample data.
+//! end-to-end driver and [`suite`] for the eight-proxy suite: the five
+//! proxies of the paper's evaluation plus the three Spark stack twins),
+//! which can be measured under the shared performance-model instrument or
+//! executed for real on generated sample data.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod autotune;
 pub mod dag;
-mod fnv;
 pub mod decompose;
 pub mod dtree;
 pub mod features;
+mod fnv;
 pub mod generator;
 pub mod impact;
 pub mod parameters;

@@ -122,7 +122,12 @@ impl ProxyParameters {
     }
 
     /// Default starting point for an AI proxy over `data_size_bytes`.
-    pub fn ai(data_size_bytes: u64, num_tasks: u32, batch_size: u32, geometry: (u32, u32, u32)) -> Self {
+    pub fn ai(
+        data_size_bytes: u64,
+        num_tasks: u32,
+        batch_size: u32,
+        geometry: (u32, u32, u32),
+    ) -> Self {
         Self {
             data_size_bytes,
             chunk_size_bytes: 8 << 20,

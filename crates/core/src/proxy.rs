@@ -9,7 +9,9 @@ use dmpb_metrics::MetricVector;
 use dmpb_motifs::ai::convolution::{conv2d, FilterBank, Padding};
 use dmpb_motifs::ai::pooling::{average_pool2d, max_pool2d};
 use dmpb_motifs::ai::{activation, fully_connected, normalization, reduce, regularization};
-use dmpb_motifs::bigdata::{graph_ops, logic, matrix_ops, sampling, set_ops, sort, statistics, transform};
+use dmpb_motifs::bigdata::{
+    graph_ops, logic, matrix_ops, sampling, set_ops, sort, statistics, transform,
+};
 use dmpb_motifs::MotifKind;
 use dmpb_perfmodel::arch::ArchProfile;
 use dmpb_perfmodel::profile::OpProfile;
@@ -73,14 +75,20 @@ impl ProxyBenchmark {
     /// Returns a copy with a different parameter vector (used by the
     /// auto-tuner's adjusting stage).
     pub fn with_parameters(&self, parameters: ProxyParameters) -> Self {
-        Self { parameters, ..self.clone() }
+        Self {
+            parameters,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy driven by a different input data set (same motifs and
     /// parameters) — the Fig. 8 experiment drives one Proxy K-means with
     /// both sparse and dense inputs.
     pub fn with_input(&self, input: DataDescriptor) -> Self {
-        Self { input, ..self.clone() }
+        Self {
+            input,
+            ..self.clone()
+        }
     }
 
     /// Descriptor of the data the proxy processes (the original input
@@ -109,7 +117,11 @@ impl ProxyBenchmark {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let w = if i == dominant { c.weight * self.parameters.weight_skew } else { c.weight };
+                let w = if i == dominant {
+                    c.weight * self.parameters.weight_skew
+                } else {
+                    c.weight
+                };
                 (c.motif, w)
             })
             .collect();
@@ -130,7 +142,8 @@ impl ProxyBenchmark {
         for (i, (motif, weight)) in weights.iter().enumerate() {
             let node = dag.add_node(
                 format!("stage-{}", i + 1),
-                self.proxy_input().scaled_to((self.parameters.data_size_bytes / 2).max(1)),
+                self.proxy_input()
+                    .scaled_to((self.parameters.data_size_bytes / 2).max(1)),
             );
             dag.add_edge(previous, node, *motif, *weight);
             previous = node;
@@ -171,8 +184,9 @@ impl ProxyBenchmark {
         if self.parameters.framework_weight > 0.0 {
             let fw_fraction = self.parameters.framework_weight.min(0.9);
             let user_instr = user.total_instructions() as f64;
-            let fw_bytes =
-                (user_instr * fw_fraction / (1.0 - fw_fraction) / jvm::JVM_INSTRUCTIONS_PER_BYTE) as u64;
+            let fw_bytes = (user_instr * fw_fraction
+                / (1.0 - fw_fraction)
+                / jvm::JVM_INSTRUCTIONS_PER_BYTE) as u64;
             let mut overhead = jvm::jvm_overhead_profile(fw_bytes.max(1 << 20), 1 << 30);
             overhead.name = "stack-emulation".to_string();
             // The proxy's memory-management module is a light-weight
@@ -215,9 +229,13 @@ impl ProxyBenchmark {
         let weights = self.effective_weights();
         for (i, (motif, weight)) in weights.iter().enumerate() {
             let n = ((elements as f64 * weight).ceil() as usize).max(16);
-            checksum ^= run_sample_kernel(*motif, n, seed.wrapping_add(i as u64)).rotate_left(i as u32);
+            checksum ^=
+                run_sample_kernel(*motif, n, seed.wrapping_add(i as u64)).rotate_left(i as u32);
         }
-        ExecutionSummary { kernels_run: weights.len(), checksum }
+        ExecutionSummary {
+            kernels_run: weights.len(),
+            checksum,
+        }
     }
 }
 
@@ -296,13 +314,18 @@ fn run_sample_kernel(motif: MotifKind, n: usize, seed: u64) -> u64 {
             }
         }
         Dct => hash_f64s(transform::dct2(
-            &(0..n.min(256)).map(|i| (i as f64 * 0.21).sin()).collect::<Vec<_>>(),
+            &(0..n.min(256))
+                .map(|i| (i as f64 * 0.21).sin())
+                .collect::<Vec<_>>(),
         )),
         DistanceCalculation => {
             let dim = 32;
             let a: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.3).sin()).collect();
             let b: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.7).cos()).collect();
-            hash_f64s([matrix_ops::euclidean_distance(&a, &b), matrix_ops::cosine_distance(&a, &b)])
+            hash_f64s([
+                matrix_ops::euclidean_distance(&a, &b),
+                matrix_ops::cosine_distance(&a, &b),
+            ])
         }
         MatrixMultiply => {
             let size = (n as f64).sqrt().ceil().clamp(4.0, 64.0) as usize;
@@ -312,7 +335,8 @@ fn run_sample_kernel(motif: MotifKind, n: usize, seed: u64) -> u64 {
         }
         // --- AI kernels --------------------------------------------------
         Convolution => {
-            let t = ImageGenerator::new(seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
+            let t = ImageGenerator::new(seed)
+                .generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
             let filters = FilterBank::constant(4, 3, 3, 0.1);
             hash_f64s(
                 conv2d(&t, &filters, 1, Padding::Same)
@@ -322,8 +346,13 @@ fn run_sample_kernel(motif: MotifKind, n: usize, seed: u64) -> u64 {
             )
         }
         MaxPooling | AveragePooling => {
-            let t = ImageGenerator::new(seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
-            let out = if motif == MaxPooling { max_pool2d(&t, 2, 2) } else { average_pool2d(&t, 2, 2) };
+            let t = ImageGenerator::new(seed)
+                .generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
+            let out = if motif == MaxPooling {
+                max_pool2d(&t, 2, 2)
+            } else {
+                average_pool2d(&t, 2, 2)
+            };
             hash_f64s(out.as_slice().iter().map(|&v| f64::from(v)))
         }
         FullyConnected => {
@@ -341,7 +370,9 @@ fn run_sample_kernel(motif: MotifKind, n: usize, seed: u64) -> u64 {
             )
         }
         Sigmoid | Tanh | Relu | Softmax => {
-            let x: Vec<f32> = (0..n.min(1024)).map(|i| (i as f32 - 512.0) * 0.01).collect();
+            let x: Vec<f32> = (0..n.min(1024))
+                .map(|i| (i as f32 - 512.0) * 0.01)
+                .collect();
             let out = match motif {
                 Sigmoid => activation::sigmoid(&x),
                 Tanh => activation::tanh(&x),
@@ -352,17 +383,26 @@ fn run_sample_kernel(motif: MotifKind, n: usize, seed: u64) -> u64 {
         }
         Dropout => {
             let x = vec![1.0f32; n.min(1024)];
-            hash_f64s(regularization::dropout(&x, 0.5, seed).into_iter().map(f64::from))
+            hash_f64s(
+                regularization::dropout(&x, 0.5, seed)
+                    .into_iter()
+                    .map(f64::from),
+            )
         }
         BatchNormalization | CosineNormalization => {
             let x: Vec<f32> = (0..n.min(1024)).map(|i| i as f32 * 0.3).collect();
-            hash_f64s(normalization::cosine_normalize(&x).into_iter().map(f64::from))
+            hash_f64s(
+                normalization::cosine_normalize(&x)
+                    .into_iter()
+                    .map(f64::from),
+            )
         }
         ReduceSum => hash_f64s([f64::from(reduce::reduce_sum(
             &(0..n.min(4096)).map(|i| i as f32).collect::<Vec<_>>(),
         ))]),
         ReduceMax => hash_f64s([f64::from(
-            reduce::reduce_max(&(0..n.min(4096)).map(|i| i as f32).collect::<Vec<_>>()).unwrap_or(0.0),
+            reduce::reduce_max(&(0..n.min(4096)).map(|i| i as f32).collect::<Vec<_>>())
+                .unwrap_or(0.0),
         )]),
     }
 }

@@ -1,10 +1,10 @@
-//! Parallel execution of the five-proxy suite with memoized tuning.
+//! Parallel execution of the eight-proxy suite with memoized tuning.
 //!
-//! [`crate::suite::ProxySuite::generate`] tunes the five proxies one after
-//! another; at the paper's scale that serialises five independent
+//! [`crate::suite::ProxySuite::generate`] tunes the proxies one after
+//! another; at the paper's scale that serialises eight independent
 //! decision-tree tuning loops.  [`SuiteRunner`] removes both costs:
 //!
-//! * **Parallelism** — the five workloads are tuned and executed
+//! * **Parallelism** — the eight workloads are tuned and executed
 //!   concurrently on scoped worker threads (bounded by
 //!   [`SuiteRunner::with_max_parallel`]).  Every stage of the pipeline is
 //!   deterministic, and each proxy's sample execution is driven by a seed
@@ -12,11 +12,14 @@
 //!   [`dmpb_datagen::rng::derive_seed`] — so the produced [`SuiteReport`]
 //!   is byte-for-byte identical run to run regardless of thread scheduling.
 //! * **Memoization** — decision-tree tuning results are cached in a
-//!   [`TuningCache`] keyed by (workload, cluster configuration, tuner
-//!   configuration).  Repeated runs against the same cluster skip the
-//!   impact analysis, tree training and adjusting/feedback loop entirely
-//!   and reuse the qualified proxy; a changed cluster or tuner
-//!   configuration changes the key and forces a fresh tune.
+//!   [`TuningCache`] keyed by (workload, software stack, cluster
+//!   configuration, tuner configuration).  Repeated runs against the same
+//!   cluster skip the impact analysis, tree training and
+//!   adjusting/feedback loop entirely and reuse the qualified proxy; a
+//!   changed cluster or tuner configuration changes the key and forces a
+//!   fresh tune, and a Hadoop workload can never be served a tune of its
+//!   Spark stack twin (or vice versa) even though the two share one motif
+//!   DAG.
 //!
 //! ```
 //! use dmpb_core::runner::SuiteRunner;
@@ -26,17 +29,17 @@
 //! let first = runner.run_all();
 //! let second = runner.run_all(); // tuning served from cache
 //! assert_eq!(first.digest(), second.digest());
-//! assert!(runner.cache_stats().hits >= 5);
+//! assert!(runner.cache_stats().hits >= 8);
 //! ```
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use dmpb_datagen::rng::derive_seed;
 use crate::fnv::hash_bytes;
+use dmpb_datagen::rng::derive_seed;
 use dmpb_metrics::table::{fmt_percent, fmt_speedup, TextTable};
-use dmpb_workloads::{ClusterConfig, WorkloadKind};
+use dmpb_workloads::{ClusterConfig, Framework, WorkloadKind};
 
 use crate::generator::{GenerationReport, ProxyGenerator};
 use crate::proxy::ExecutionSummary;
@@ -46,12 +49,21 @@ use crate::proxy::ExecutionSummary;
 /// [`crate::proxy::ProxyBenchmark::execute_sample`]).
 pub const SAMPLE_ELEMENTS: usize = 2_000;
 
-/// Cache key for one tuning run: the workload plus fingerprints of the
-/// cluster and tuner configurations that shaped the tune.
+/// Cache key for one tuning run: the workload and its software stack plus
+/// fingerprints of the cluster and tuner configurations that shaped the
+/// tune.
+///
+/// The stack is part of the key even though [`WorkloadKind`] already
+/// implies it: Hadoop TeraSort and Spark TeraSort share one motif DAG and
+/// one input descriptor, so any future keying shortcut over those shared
+/// parts must still never let the two variants share a cache entry — the
+/// stack overhead is exactly what their tunes differ in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TuningKey {
     /// The workload the proxy was tuned for.
     pub kind: WorkloadKind,
+    /// The software stack the workload runs on.
+    pub framework: Framework,
     /// Fingerprint of the cluster configuration the tune targeted.
     pub cluster_fingerprint: u64,
     /// Fingerprint of the tuner + feature-selection configuration.
@@ -63,6 +75,7 @@ impl TuningKey {
     pub fn new(kind: WorkloadKind, generator: &ProxyGenerator) -> Self {
         Self {
             kind,
+            framework: kind.framework(),
             cluster_fingerprint: fingerprint_cluster(&generator.cluster),
             tuner_fingerprint: generator.tuner.fingerprint()
                 ^ hash_bytes(format!("{:?}", generator.features).as_bytes()),
@@ -92,7 +105,7 @@ pub struct CacheStats {
 
 /// A memo table of tuning results keyed by [`TuningKey`].
 ///
-/// The cache is thread-safe: the five workloads of a suite run probe it
+/// The cache is thread-safe: the workloads of a suite run probe it
 /// concurrently.  Hit/miss counters are cumulative over the cache's
 /// lifetime.
 #[derive(Debug, Default)]
@@ -199,13 +212,16 @@ impl SuiteReport {
         self.runs.iter().map(|r| &r.report)
     }
 
-    /// Average accuracy across the five proxies.
+    /// Average accuracy across all proxies of the suite.
     pub fn average_accuracy(&self) -> f64 {
-        self.runs.iter().map(|r| r.report.accuracy.average()).sum::<f64>()
+        self.runs
+            .iter()
+            .map(|r| r.report.accuracy.average())
+            .sum::<f64>()
             / self.runs.len().max(1) as f64
     }
 
-    /// Minimum runtime speedup across the five proxies.
+    /// Minimum runtime speedup across all proxies of the suite.
     pub fn min_speedup(&self) -> f64 {
         self.runs
             .iter()
@@ -224,7 +240,14 @@ impl SuiteReport {
     pub fn summary_table(&self) -> TextTable {
         let mut t = TextTable::new(
             format!("Proxy suite on {}", self.cluster_name),
-            &["workload", "accuracy", "speedup", "iterations", "qualified", "sample checksum"],
+            &[
+                "workload",
+                "accuracy",
+                "speedup",
+                "iterations",
+                "qualified",
+                "sample checksum",
+            ],
         );
         for run in &self.runs {
             t.add_row(&[
@@ -240,10 +263,10 @@ impl SuiteReport {
     }
 }
 
-/// Parallel, cache-backed driver for the five-proxy suite.
+/// Parallel, cache-backed driver for the eight-proxy suite.
 ///
 /// See the [module documentation](self) for the design; the short version:
-/// [`SuiteRunner::run_all`] tunes and executes all five proxies
+/// [`SuiteRunner::run_all`] tunes and executes all eight proxies
 /// concurrently, deterministic in its output, and memoizes tuning results
 /// in a [`TuningCache`] so repeated runs against the same cluster skip
 /// re-tuning.
@@ -280,7 +303,7 @@ impl SuiteRunner {
     }
 
     /// Bounds the number of concurrently tuned workloads (clamped to
-    /// `1..=5`).
+    /// `1..=8`).
     pub fn with_max_parallel(mut self, workers: usize) -> Self {
         self.max_parallel = workers.clamp(1, WorkloadKind::ALL.len());
         self
@@ -303,7 +326,7 @@ impl SuiteRunner {
         let index = WorkloadKind::ALL
             .iter()
             .position(|&k| k == kind)
-            .expect("kind is one of the five workloads");
+            .expect("kind is one of the suite workloads");
         self.run_indexed(index, kind)
     }
 
@@ -324,7 +347,12 @@ impl SuiteRunner {
         let report = self.tuned_report(kind);
         let seed = derive_seed(self.base_seed, index as u64);
         let execution = report.proxy.execute_sample(SAMPLE_ELEMENTS, seed);
-        ProxyRun { kind, seed, report, execution }
+        ProxyRun {
+            kind,
+            seed,
+            report,
+            execution,
+        }
     }
 
     /// Maps every workload through `work` on up to `max_parallel` scoped
@@ -354,14 +382,14 @@ impl SuiteRunner {
             .collect()
     }
 
-    /// Tunes all five proxies in parallel without executing their sample
+    /// Tunes all eight proxies in parallel without executing their sample
     /// kernels — the cheaper path when only the [`GenerationReport`]s are
     /// needed (e.g. [`crate::suite::ProxySuite::generate_parallel`]).
     pub fn tune_all(&self) -> Vec<GenerationReport> {
         self.map_kinds(|_, kind| self.tuned_report(kind))
     }
 
-    /// Runs the whole suite: all five workloads tuned and executed in
+    /// Runs the whole suite: all eight workloads tuned and executed in
     /// parallel.  The returned report lists workloads in
     /// [`WorkloadKind::ALL`] order and is identical run to run for a given
     /// base seed, independent of worker count and thread scheduling.
@@ -398,13 +426,16 @@ mod tests {
         let first = runner.run_all();
         let after_first = runner.cache_stats();
         assert_eq!(after_first.hits, 0);
-        assert_eq!(after_first.misses, 5);
-        assert_eq!(after_first.entries, 5);
+        assert_eq!(after_first.misses, 8);
+        assert_eq!(after_first.entries, 8);
 
         let second = runner.run_all();
         let after_second = runner.cache_stats();
-        assert_eq!(after_second.hits, 5, "second run must hit the cache for every workload");
-        assert_eq!(after_second.misses, 5);
+        assert_eq!(
+            after_second.hits, 8,
+            "second run must hit the cache for every workload"
+        );
+        assert_eq!(after_second.misses, 8);
 
         assert_eq!(format!("{first:?}"), format!("{second:?}"));
         assert_eq!(first.digest(), second.digest());
@@ -474,11 +505,58 @@ mod tests {
     }
 
     #[test]
-    fn summary_table_lists_all_five_rows() {
+    fn hadoop_and_spark_twins_never_share_a_cache_entry() {
+        let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+        let hadoop_key = TuningKey::new(WorkloadKind::TeraSort, runner.generator());
+        let spark_key = TuningKey::new(WorkloadKind::SparkTeraSort, runner.generator());
+        // Same motif DAG, same input, same cluster, same tuner — but the
+        // stack differs, so the keys must too.
+        assert_ne!(hadoop_key, spark_key);
+        assert_eq!(
+            hadoop_key.cluster_fingerprint,
+            spark_key.cluster_fingerprint
+        );
+        assert_eq!(hadoop_key.tuner_fingerprint, spark_key.tuner_fingerprint);
+        assert_eq!(hadoop_key.framework, Framework::Hadoop);
+        assert_eq!(spark_key.framework, Framework::Spark);
+
+        // Tuning the Hadoop variant must not satisfy a Spark lookup, and
+        // once both are tuned they occupy two distinct entries.
+        let _ = runner.run_kind(WorkloadKind::TeraSort);
+        assert!(runner.cache.lookup(&spark_key).is_none());
+        let _ = runner.run_kind(WorkloadKind::SparkTeraSort);
+        assert_eq!(runner.cache_stats().entries, 2);
+        let hadoop_run = runner.run_kind(WorkloadKind::TeraSort);
+        let spark_run = runner.run_kind(WorkloadKind::SparkTeraSort);
+        assert_ne!(
+            hadoop_run.report.real_metrics, spark_run.report.real_metrics,
+            "the two stacks must be tuned against different targets"
+        );
+    }
+
+    #[test]
+    fn every_stack_twin_pair_gets_distinct_keys() {
+        let generator = ProxyGenerator::new(ClusterConfig::five_node_westmere());
+        for kind in WorkloadKind::ALL {
+            if let Some(twin) = kind.stack_twin() {
+                assert_ne!(
+                    TuningKey::new(kind, &generator),
+                    TuningKey::new(twin, &generator),
+                    "{kind} and {twin} share a tuning key"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summary_table_lists_all_eight_rows() {
         let report = SuiteRunner::new(ClusterConfig::five_node_westmere()).run_all();
         let rendered = report.summary_table().render();
         for kind in WorkloadKind::ALL {
-            assert!(rendered.contains(&kind.to_string()), "{kind} missing:\n{rendered}");
+            assert!(
+                rendered.contains(&kind.to_string()),
+                "{kind} missing:\n{rendered}"
+            );
         }
     }
 }

@@ -92,7 +92,10 @@ impl Gaussian {
     ///
     /// Panics if `std_dev` is negative or not finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be >= 0");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be >= 0"
+        );
         Self { mean, std_dev }
     }
 

@@ -48,7 +48,12 @@ pub struct TensorShape {
 impl TensorShape {
     /// Creates a shape.
     pub fn new(batch: usize, channels: usize, height: usize, width: usize) -> Self {
-        Self { batch, channels, height, width }
+        Self {
+            batch,
+            channels,
+            height,
+            width,
+        }
     }
 
     /// CIFAR-10 batch shape used by the AlexNet workload (batch 128).
@@ -122,7 +127,10 @@ impl ImageTensor {
     /// Panics if any coordinate is out of range.
     pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
         let s = self.shape;
-        assert!(n < s.batch && c < s.channels && h < s.height && w < s.width, "index out of range");
+        assert!(
+            n < s.batch && c < s.channels && h < s.height && w < s.width,
+            "index out of range"
+        );
         match self.layout {
             TensorLayout::Nchw => ((n * s.channels + c) * s.height + h) * s.width + w,
             TensorLayout::Nhwc => ((n * s.height + h) * s.width + w) * s.channels + c,
@@ -228,7 +236,11 @@ mod tests {
                 }
             }
         }
-        assert_ne!(t.as_slice(), u.as_slice(), "layouts should differ in memory order");
+        assert_ne!(
+            t.as_slice(),
+            u.as_slice(),
+            "layouts should differ in memory order"
+        );
     }
 
     #[test]

@@ -141,7 +141,11 @@ impl CsrMatrix {
     /// Panics if a column index is out of range or the entry list does not
     /// have exactly `rows` rows.
     pub fn from_rows(rows: usize, cols: usize, entries: &[Vec<(u32, f64)>]) -> Self {
-        assert_eq!(entries.len(), rows, "entry list must have one entry per row");
+        assert_eq!(
+            entries.len(),
+            rows,
+            "entry list must have one entry per row"
+        );
         let mut offsets = Vec::with_capacity(rows + 1);
         let mut indices = Vec::new();
         let mut values = Vec::new();
@@ -156,7 +160,13 @@ impl CsrMatrix {
             }
             offsets.push(indices.len());
         }
-        Self { rows, cols, offsets, indices, values }
+        Self {
+            rows,
+            cols,
+            offsets,
+            indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -233,12 +243,22 @@ pub struct MatrixSpec {
 impl MatrixSpec {
     /// A dense matrix spec.
     pub fn dense(rows: usize, cols: usize, seed: u64) -> Self {
-        Self { rows, cols, sparsity: 0.0, seed }
+        Self {
+            rows,
+            cols,
+            sparsity: 0.0,
+            seed,
+        }
     }
 
     /// A sparse matrix spec.
     pub fn sparse(rows: usize, cols: usize, sparsity: f64, seed: u64) -> Self {
-        Self { rows, cols, sparsity, seed }
+        Self {
+            rows,
+            cols,
+            sparsity,
+            seed,
+        }
     }
 
     /// Descriptor for the generated matrix.
@@ -335,7 +355,11 @@ mod tests {
     #[test]
     fn sparse_generation_matches_sparsity() {
         let m = MatrixSpec::sparse(100, 100, 0.9, 9).generate_sparse();
-        assert!((m.sparsity() - 0.9).abs() < 0.02, "sparsity {}", m.sparsity());
+        assert!(
+            (m.sparsity() - 0.9).abs() < 0.02,
+            "sparsity {}",
+            m.sparsity()
+        );
     }
 
     #[test]

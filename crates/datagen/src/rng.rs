@@ -31,8 +31,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// The mixing function is the 64-bit finaliser of SplitMix64, which is
 /// sufficient to decorrelate consecutive indices.
 pub fn derive_seed(parent: u64, stream: u64) -> u64 {
-    let mut z = parent
-        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = parent.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -45,8 +44,14 @@ mod tests {
 
     #[test]
     fn seeded_rng_is_deterministic() {
-        let xs: Vec<u32> = seeded_rng(123).sample_iter(rand::distributions::Standard).take(16).collect();
-        let ys: Vec<u32> = seeded_rng(123).sample_iter(rand::distributions::Standard).take(16).collect();
+        let xs: Vec<u32> = seeded_rng(123)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let ys: Vec<u32> = seeded_rng(123)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_eq!(xs, ys);
     }
 

@@ -172,7 +172,11 @@ mod tests {
         let real = vector(1.0);
         let proxy = vector(1.1);
         let report = AccuracyReport::compare_default(&real, &proxy);
-        assert!(report.is_qualified(0.15), "worst {:?}", report.worst_metric());
+        assert!(
+            report.is_qualified(0.15),
+            "worst {:?}",
+            report.worst_metric()
+        );
         assert!(!report.is_qualified(0.05));
     }
 

@@ -23,7 +23,13 @@ impl InstructionMix {
     /// Builds a mix from raw instruction counts.
     ///
     /// Returns an all-zero mix if every count is zero.
-    pub fn from_counts(integer: u64, floating_point: u64, load: u64, store: u64, branch: u64) -> Self {
+    pub fn from_counts(
+        integer: u64,
+        floating_point: u64,
+        load: u64,
+        store: u64,
+        branch: u64,
+    ) -> Self {
         let total = (integer + floating_point + load + store + branch) as f64;
         if total == 0.0 {
             return Self::zero();
@@ -92,7 +98,10 @@ impl InstructionMix {
     ///
     /// Panics if `t` is outside `[0, 1]`.
     pub fn blend(&self, other: &InstructionMix, t: f64) -> Self {
-        assert!((0.0..=1.0).contains(&t), "blend factor must be within [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&t),
+            "blend factor must be within [0, 1]"
+        );
         Self {
             integer: self.integer * (1.0 - t) + other.integer * t,
             floating_point: self.floating_point * (1.0 - t) + other.floating_point * t,

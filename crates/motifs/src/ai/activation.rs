@@ -23,7 +23,10 @@ pub fn relu(input: &[f32]) -> Vec<f32> {
 /// is zero.
 pub fn softmax(input: &[f32], classes: usize) -> Vec<f32> {
     assert!(classes > 0, "classes must be non-zero");
-    assert!(input.len() % classes == 0, "input is not a whole number of rows");
+    assert!(
+        input.len() % classes == 0,
+        "input is not a whole number of rows"
+    );
     let mut output = Vec::with_capacity(input.len());
     for row in input.chunks_exact(classes) {
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);

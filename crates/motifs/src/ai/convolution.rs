@@ -41,7 +41,12 @@ impl FilterBank {
             out_channels * in_channels * kernel * kernel,
             "weight count does not match filter shape"
         );
-        Self { out_channels, in_channels, kernel, weights }
+        Self {
+            out_channels,
+            in_channels,
+            kernel,
+            weights,
+        }
     }
 
     /// A bank with every weight equal to `value` (useful in tests).
@@ -65,10 +70,18 @@ impl FilterBank {
 ///
 /// Panics if the filter's input channel count does not match the tensor, or
 /// if the stride is zero.
-pub fn conv2d(input: &ImageTensor, filters: &FilterBank, stride: usize, padding: Padding) -> ImageTensor {
+pub fn conv2d(
+    input: &ImageTensor,
+    filters: &FilterBank,
+    stride: usize,
+    padding: Padding,
+) -> ImageTensor {
     assert!(stride > 0, "stride must be non-zero");
     let shape = input.shape();
-    assert_eq!(filters.in_channels, shape.channels, "input channel mismatch");
+    assert_eq!(
+        filters.in_channels, shape.channels,
+        "input channel mismatch"
+    );
 
     let pad = match padding {
         Padding::Valid => 0,
@@ -127,7 +140,12 @@ mod tests {
 
     #[test]
     fn valid_convolution_output_shape() {
-        let out = conv2d(&ones_input(5, 5), &FilterBank::constant(2, 1, 3, 1.0), 1, Padding::Valid);
+        let out = conv2d(
+            &ones_input(5, 5),
+            &FilterBank::constant(2, 1, 3, 1.0),
+            1,
+            Padding::Valid,
+        );
         assert_eq!(out.shape().height, 3);
         assert_eq!(out.shape().width, 3);
         assert_eq!(out.shape().channels, 2);
@@ -135,28 +153,52 @@ mod tests {
 
     #[test]
     fn same_padding_keeps_spatial_size_with_stride_one() {
-        let out = conv2d(&ones_input(6, 6), &FilterBank::constant(1, 1, 3, 1.0), 1, Padding::Same);
+        let out = conv2d(
+            &ones_input(6, 6),
+            &FilterBank::constant(1, 1, 3, 1.0),
+            1,
+            Padding::Same,
+        );
         assert_eq!(out.shape().height, 6);
         assert_eq!(out.shape().width, 6);
     }
 
     #[test]
     fn constant_filter_on_ones_sums_window() {
-        let out = conv2d(&ones_input(5, 5), &FilterBank::constant(1, 1, 3, 1.0), 1, Padding::Valid);
+        let out = conv2d(
+            &ones_input(5, 5),
+            &FilterBank::constant(1, 1, 3, 1.0),
+            1,
+            Padding::Valid,
+        );
         // Interior windows see 9 ones.
         assert_eq!(out.get(0, 0, 1, 1), 9.0);
     }
 
     #[test]
     fn same_padding_border_sums_partial_window() {
-        let out = conv2d(&ones_input(5, 5), &FilterBank::constant(1, 1, 3, 1.0), 1, Padding::Same);
-        assert_eq!(out.get(0, 0, 0, 0), 4.0, "corner window covers 2x2 real pixels");
+        let out = conv2d(
+            &ones_input(5, 5),
+            &FilterBank::constant(1, 1, 3, 1.0),
+            1,
+            Padding::Same,
+        );
+        assert_eq!(
+            out.get(0, 0, 0, 0),
+            4.0,
+            "corner window covers 2x2 real pixels"
+        );
         assert_eq!(out.get(0, 0, 2, 2), 9.0);
     }
 
     #[test]
     fn stride_two_halves_the_output() {
-        let out = conv2d(&ones_input(8, 8), &FilterBank::constant(1, 1, 2, 1.0), 2, Padding::Valid);
+        let out = conv2d(
+            &ones_input(8, 8),
+            &FilterBank::constant(1, 1, 2, 1.0),
+            2,
+            Padding::Valid,
+        );
         assert_eq!(out.shape().height, 4);
         assert_eq!(out.shape().width, 4);
     }
@@ -178,6 +220,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "channel mismatch")]
     fn mismatched_channels_are_rejected() {
-        let _ = conv2d(&ones_input(4, 4), &FilterBank::constant(1, 3, 3, 1.0), 1, Padding::Valid);
+        let _ = conv2d(
+            &ones_input(4, 4),
+            &FilterBank::constant(1, 3, 3, 1.0),
+            1,
+            Padding::Valid,
+        );
     }
 }

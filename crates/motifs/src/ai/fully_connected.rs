@@ -18,7 +18,11 @@ pub fn fully_connected(
     out_features: usize,
 ) -> Vec<f32> {
     assert_eq!(input.len(), batch * in_features, "input shape mismatch");
-    assert_eq!(weights.len(), out_features * in_features, "weight shape mismatch");
+    assert_eq!(
+        weights.len(),
+        out_features * in_features,
+        "weight shape mismatch"
+    );
     assert_eq!(bias.len(), out_features, "bias shape mismatch");
     let mut output = vec![0.0f32; batch * out_features];
     for b in 0..batch {
@@ -85,7 +89,10 @@ mod tests {
 
     #[test]
     fn element_wise_multiply_works() {
-        assert_eq!(element_wise_multiply(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), vec![4.0, 10.0, 18.0]);
+        assert_eq!(
+            element_wise_multiply(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]),
+            vec![4.0, 10.0, 18.0]
+        );
     }
 
     #[test]

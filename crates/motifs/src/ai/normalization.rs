@@ -59,7 +59,8 @@ mod tests {
 
     #[test]
     fn batch_norm_zero_means_unit_variance() {
-        let input = ImageGenerator::new(3).generate(TensorShape::new(4, 2, 8, 8), TensorLayout::Nchw);
+        let input =
+            ImageGenerator::new(3).generate(TensorShape::new(4, 2, 8, 8), TensorLayout::Nchw);
         let out = batch_norm(&input, &[1.0, 1.0], &[0.0, 0.0], 1e-5);
         let shape = out.shape();
         for c in 0..2 {
@@ -72,7 +73,8 @@ mod tests {
                 }
             }
             let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
-            let var: f64 = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+            let var: f64 =
+                values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }
@@ -80,7 +82,8 @@ mod tests {
 
     #[test]
     fn batch_norm_applies_gamma_and_beta() {
-        let input = ImageGenerator::new(4).generate(TensorShape::new(2, 1, 4, 4), TensorLayout::Nchw);
+        let input =
+            ImageGenerator::new(4).generate(TensorShape::new(2, 1, 4, 4), TensorLayout::Nchw);
         let plain = batch_norm(&input, &[1.0], &[0.0], 1e-5);
         let scaled = batch_norm(&input, &[2.0], &[1.0], 1e-5);
         for (p, s) in plain.as_slice().iter().zip(scaled.as_slice()) {
@@ -104,7 +107,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "gamma length")]
     fn batch_norm_rejects_bad_gamma() {
-        let input = ImageGenerator::new(5).generate(TensorShape::new(1, 3, 2, 2), TensorLayout::Nchw);
+        let input =
+            ImageGenerator::new(5).generate(TensorShape::new(1, 3, 2, 2), TensorLayout::Nchw);
         let _ = batch_norm(&input, &[1.0], &[0.0, 0.0, 0.0], 1e-5);
     }
 }

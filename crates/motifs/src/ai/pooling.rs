@@ -18,7 +18,10 @@ pub enum PoolMode {
 /// Panics if the window is zero-sized or larger than the input.
 pub fn pool2d(input: &ImageTensor, window: usize, stride: usize, mode: PoolMode) -> ImageTensor {
     let shape = input.shape();
-    assert!(window > 0 && stride > 0, "window and stride must be non-zero");
+    assert!(
+        window > 0 && stride > 0,
+        "window and stride must be non-zero"
+    );
     assert!(
         window <= shape.height && window <= shape.width,
         "window larger than the input"

@@ -17,8 +17,14 @@ pub fn reduce_max(input: &[f32]) -> Option<f32> {
 /// Panics if the input length is not a multiple of `cols` or `cols` is zero.
 pub fn reduce_sum_rows(input: &[f32], cols: usize) -> Vec<f32> {
     assert!(cols > 0, "cols must be non-zero");
-    assert!(input.len() % cols == 0, "input is not a whole number of rows");
-    input.chunks_exact(cols).map(|row| row.iter().sum()).collect()
+    assert!(
+        input.len() % cols == 0,
+        "input is not a whole number of rows"
+    );
+    input
+        .chunks_exact(cols)
+        .map(|row| row.iter().sum())
+        .collect()
 }
 
 /// Row-wise maxima of a `[rows, cols]` tensor.
@@ -28,7 +34,10 @@ pub fn reduce_sum_rows(input: &[f32], cols: usize) -> Vec<f32> {
 /// Panics if the input length is not a multiple of `cols` or `cols` is zero.
 pub fn reduce_max_rows(input: &[f32], cols: usize) -> Vec<f32> {
     assert!(cols > 0, "cols must be non-zero");
-    assert!(input.len() % cols == 0, "input is not a whole number of rows");
+    assert!(
+        input.len() % cols == 0,
+        "input is not a whole number of rows"
+    );
     input
         .chunks_exact(cols)
         .map(|row| row.iter().cloned().fold(f32::NEG_INFINITY, f32::max))

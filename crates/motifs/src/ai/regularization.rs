@@ -12,7 +12,10 @@ use dmpb_datagen::rng::seeded_rng;
 ///
 /// Panics if `rate` is outside `[0, 1)`.
 pub fn dropout(input: &[f32], rate: f64, seed: u64) -> Vec<f32> {
-    assert!((0.0..1.0).contains(&rate), "dropout rate must be within [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&rate),
+        "dropout rate must be within [0, 1)"
+    );
     if rate == 0.0 {
         return input.to_vec();
     }

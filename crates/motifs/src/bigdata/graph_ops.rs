@@ -25,7 +25,9 @@ pub fn traversal_reach(graph: &CsrGraph, start: usize) -> usize {
 /// Out-degree and in-degree of every vertex, the per-node statistics the
 /// PageRank decomposition uses.
 pub fn degree_counts(graph: &CsrGraph) -> (Vec<usize>, Vec<usize>) {
-    let out: Vec<usize> = (0..graph.num_vertices()).map(|v| graph.out_degree(v)).collect();
+    let out: Vec<usize> = (0..graph.num_vertices())
+        .map(|v| graph.out_degree(v))
+        .collect();
     let in_deg = graph.in_degrees();
     (out, in_deg)
 }
@@ -37,7 +39,11 @@ pub fn degree_counts(graph: &CsrGraph) -> (Vec<usize>, Vec<usize>) {
 ///
 /// Panics if `ranks.len()` does not match the vertex count.
 pub fn pagerank_iteration(graph: &CsrGraph, ranks: &[f64], damping: f64) -> Vec<f64> {
-    assert_eq!(ranks.len(), graph.num_vertices(), "rank vector size mismatch");
+    assert_eq!(
+        ranks.len(),
+        graph.num_vertices(),
+        "rank vector size mismatch"
+    );
     let n = graph.num_vertices();
     let mut next = vec![(1.0 - damping) / n as f64; n];
     let mut dangling = 0.0;

@@ -12,8 +12,8 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
     // Per-round shift amounts.
     const S: [u32; 64] = [
         7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 5, 9, 14, 20, 5, 9, 14, 20, 5,
-        9, 14, 20, 5, 9, 14, 20, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 6,
-        10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+        9, 14, 20, 5, 9, 14, 20, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 6, 10,
+        15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
     ];
     // Binary integer parts of sines (RFC 1321 table T).
     const K: [u32; 64] = [
@@ -110,8 +110,14 @@ mod tests {
     fn md5_reference_vectors() {
         // RFC 1321 test suite.
         assert_eq!(digest_to_hex(&md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
-        assert_eq!(digest_to_hex(&md5(b"a")), "0cc175b9c0f1b6a831c399e269772661");
-        assert_eq!(digest_to_hex(&md5(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(
+            digest_to_hex(&md5(b"a")),
+            "0cc175b9c0f1b6a831c399e269772661"
+        );
+        assert_eq!(
+            digest_to_hex(&md5(b"abc")),
+            "900150983cd24fb0d6963f7d28e17f72"
+        );
         assert_eq!(
             digest_to_hex(&md5(b"message digest")),
             "f96b697d7cb7938d525a2f31aaf161d0"

@@ -101,7 +101,11 @@ mod tests {
     #[test]
     fn nearest_centroid_picks_the_closest() {
         let point = SparseVector::new(3, vec![0, 2], vec![1.0, 1.0]);
-        let centroids = vec![vec![10.0, 10.0, 10.0], vec![1.0, 0.0, 1.0], vec![-5.0, 0.0, 0.0]];
+        let centroids = vec![
+            vec![10.0, 10.0, 10.0],
+            vec![1.0, 0.0, 1.0],
+            vec![-5.0, 0.0, 0.0],
+        ];
         assert_eq!(nearest_centroid(&point, &centroids), 1);
     }
 

@@ -15,7 +15,10 @@ use dmpb_datagen::rng::seeded_rng;
 ///
 /// Panics if `fraction` is outside `[0, 1]`.
 pub fn random_sample_indices(count: usize, fraction: f64, seed: u64) -> Vec<usize> {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be within [0, 1]"
+    );
     let mut rng = seeded_rng(seed);
     (0..count).filter(|_| rng.gen::<f64>() < fraction).collect()
 }

@@ -71,7 +71,11 @@ pub fn merge_sort(keys: &[Key]) -> Vec<Key> {
         for start in (0..current.len()).step_by(width * 2) {
             let mid = (start + width).min(current.len());
             let end = (start + width * 2).min(current.len());
-            merge_runs(&current[start..mid], &current[mid..end], &mut buffer[start..end]);
+            merge_runs(
+                &current[start..mid],
+                &current[mid..end],
+                &mut buffer[start..end],
+            );
         }
         std::mem::swap(&mut current, &mut buffer);
         width *= 2;
@@ -85,7 +89,11 @@ pub fn merge_sort(keys: &[Key]) -> Vec<Key> {
 ///
 /// Panics if `out.len() != left.len() + right.len()`.
 pub fn merge_runs(left: &[Key], right: &[Key], out: &mut [Key]) {
-    assert_eq!(out.len(), left.len() + right.len(), "output buffer size mismatch");
+    assert_eq!(
+        out.len(),
+        left.len() + right.len(),
+        "output buffer size mismatch"
+    );
     let (mut i, mut j, mut k) = (0, 0, 0);
     while i < left.len() && j < right.len() {
         if left[i] <= right[j] {

@@ -122,7 +122,9 @@ mod tests {
 
     #[test]
     fn ifft_inverts_fft() {
-        let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64).collect();
+        let signal: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64)
+            .collect();
         let spectrum = fft_real(&signal);
         let recovered = ifft_real(&spectrum);
         for (a, b) in signal.iter().zip(&recovered) {
@@ -138,7 +140,10 @@ mod tests {
             .map(|i| (2.0 * PI * freq as f64 * i as f64 / n as f64).cos())
             .collect();
         let spectrum = fft_real(&signal);
-        let magnitudes: Vec<f64> = spectrum.iter().map(|(re, im)| (re * re + im * im).sqrt()).collect();
+        let magnitudes: Vec<f64> = spectrum
+            .iter()
+            .map(|(re, im)| (re * re + im * im).sqrt())
+            .collect();
         let peak = magnitudes
             .iter()
             .enumerate()

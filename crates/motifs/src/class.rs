@@ -190,8 +190,13 @@ impl MotifKind {
             Md5Hash | Encryption | Relu => MotifClass::Logic,
             SetUnion | SetIntersection | SetDifference => MotifClass::Set,
             QuickSort | MergeSort | ReduceMax => MotifClass::Sort,
-            CountStatistics | ProbabilityStatistics | MinMax | Dropout | BatchNormalization
-            | CosineNormalization | ReduceSum => MotifClass::Statistics,
+            CountStatistics
+            | ProbabilityStatistics
+            | MinMax
+            | Dropout
+            | BatchNormalization
+            | CosineNormalization
+            | ReduceSum => MotifClass::Statistics,
         }
     }
 
@@ -299,7 +304,10 @@ mod tests {
         assert_eq!(MotifKind::MaxPooling.class(), MotifClass::Sampling);
         assert_eq!(MotifKind::Relu.class(), MotifClass::Logic);
         assert_eq!(MotifKind::ReduceMax.class(), MotifClass::Sort);
-        assert_eq!(MotifKind::BatchNormalization.class(), MotifClass::Statistics);
+        assert_eq!(
+            MotifKind::BatchNormalization.class(),
+            MotifClass::Statistics
+        );
         assert_eq!(MotifKind::FullyConnected.class(), MotifClass::Matrix);
         assert_eq!(MotifKind::SetIntersection.class(), MotifClass::Set);
         assert_eq!(MotifKind::GraphTraversal.class(), MotifClass::Graph);

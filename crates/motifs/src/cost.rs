@@ -12,8 +12,8 @@
 //! wall-clock scaling).
 
 use dmpb_datagen::DataDescriptor;
-use dmpb_perfmodel::profile::{BranchBehavior, InstructionCounts, MemorySegment, OpProfile};
 use dmpb_perfmodel::access::AccessPattern;
+use dmpb_perfmodel::profile::{BranchBehavior, InstructionCounts, MemorySegment, OpProfile};
 
 use crate::class::MotifKind;
 use crate::config::MotifConfig;
@@ -74,7 +74,11 @@ pub fn cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifConfig
     }
 }
 
-fn big_data_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifConfig) -> OpProfile {
+fn big_data_cost_profile(
+    kind: MotifKind,
+    data: &DataDescriptor,
+    config: &MotifConfig,
+) -> OpProfile {
     use MotifKind::*;
 
     let elements = data.element_count() as f64;
@@ -122,26 +126,60 @@ fn big_data_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifC
             BranchBehavior::new(0.5, 0.70),
         ),
         RandomSampling => (
-            Recipe { integer: 3.0, floating_point: 0.5, load: 1.2, store: 0.15, branch: 1.1 },
-            vec![MemorySegment::new(AccessPattern::Sequential, stream_ws, 1.0)],
+            Recipe {
+                integer: 3.0,
+                floating_point: 0.5,
+                load: 1.2,
+                store: 0.15,
+                branch: 1.1,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                stream_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.12, 0.75),
         ),
         IntervalSampling => (
-            Recipe { integer: 2.0, floating_point: 0.0, load: 1.0, store: 0.1, branch: 1.0 },
+            Recipe {
+                integer: 2.0,
+                floating_point: 0.0,
+                load: 1.0,
+                store: 0.1,
+                branch: 1.0,
+            },
             vec![MemorySegment::new(
-                AccessPattern::Strided { stride_bytes: (element_bytes as u64 * 8).max(64) },
+                AccessPattern::Strided {
+                    stride_bytes: (element_bytes as u64 * 8).max(64),
+                },
                 stream_ws,
                 1.0,
             )],
             BranchBehavior::new(0.88, 0.95),
         ),
         SetUnion | SetIntersection | SetDifference => (
-            Recipe { integer: 4.0, floating_point: 0.0, load: 2.2, store: 0.9, branch: 1.6 },
-            vec![MemorySegment::new(AccessPattern::Sequential, stream_ws, 1.0)],
+            Recipe {
+                integer: 4.0,
+                floating_point: 0.0,
+                load: 2.2,
+                store: 0.9,
+                branch: 1.6,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                stream_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.5, 0.70),
         ),
         GraphConstruct => (
-            Recipe { integer: 6.0, floating_point: 0.0, load: 2.5, store: 2.0, branch: 1.0 },
+            Recipe {
+                integer: 6.0,
+                floating_point: 0.0,
+                load: 2.5,
+                store: 2.0,
+                branch: 1.0,
+            },
             vec![
                 MemorySegment::new(AccessPattern::Sequential, stream_ws, 0.45),
                 MemorySegment::new(AccessPattern::Random, data.total_bytes.max(1), 0.55),
@@ -149,7 +187,13 @@ fn big_data_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifC
             BranchBehavior::new(0.7, 0.6),
         ),
         GraphTraversal => (
-            Recipe { integer: 4.5, floating_point: 0.0, load: 2.8, store: 0.8, branch: 1.8 },
+            Recipe {
+                integer: 4.5,
+                floating_point: 0.0,
+                load: 2.8,
+                store: 0.8,
+                branch: 1.8,
+            },
             vec![
                 MemorySegment::new(AccessPattern::PointerChase, data.total_bytes.max(1), 0.7),
                 MemorySegment::new(AccessPattern::Sequential, stream_ws, 0.3),
@@ -157,12 +201,28 @@ fn big_data_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifC
             BranchBehavior::new(0.55, 0.65),
         ),
         CountStatistics => (
-            Recipe { integer: 2.5, floating_point: 1.0, load: 1.1, store: 0.2, branch: 1.0 },
-            vec![MemorySegment::new(AccessPattern::Sequential, stream_ws, 1.0)],
+            Recipe {
+                integer: 2.5,
+                floating_point: 1.0,
+                load: 1.1,
+                store: 0.2,
+                branch: 1.0,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                stream_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.9, 0.95),
         ),
         ProbabilityStatistics => (
-            Recipe { integer: 4.0, floating_point: 1.0, load: 2.2, store: 1.0, branch: 1.3 },
+            Recipe {
+                integer: 4.0,
+                floating_point: 1.0,
+                load: 2.2,
+                store: 1.0,
+                branch: 1.3,
+            },
             vec![
                 MemorySegment::new(AccessPattern::Sequential, stream_ws, 0.55),
                 MemorySegment::new(AccessPattern::Random, 8 << 20, 0.45),
@@ -170,8 +230,18 @@ fn big_data_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifC
             BranchBehavior::new(0.6, 0.75),
         ),
         MinMax => (
-            Recipe { integer: 1.5, floating_point: 1.2, load: 1.0, store: 0.05, branch: 1.1 },
-            vec![MemorySegment::new(AccessPattern::Sequential, stream_ws, 1.0)],
+            Recipe {
+                integer: 1.5,
+                floating_point: 1.2,
+                load: 1.0,
+                store: 0.05,
+                branch: 1.1,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                stream_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.08, 0.9),
         ),
         Md5Hash => (
@@ -182,7 +252,11 @@ fn big_data_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifC
                 store: 0.3 * element_bytes / 8.0,
                 branch: 0.4 * element_bytes / 8.0,
             },
-            vec![MemorySegment::new(AccessPattern::Sequential, stream_ws, 1.0)],
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                stream_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.92, 0.97),
         ),
         Encryption => (
@@ -193,7 +267,11 @@ fn big_data_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifC
                 store: 1.0 * element_bytes / 8.0,
                 branch: 0.3 * element_bytes / 8.0,
             },
-            vec![MemorySegment::new(AccessPattern::Sequential, stream_ws, 1.0)],
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                stream_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.93, 0.97),
         ),
         Fft | Ifft => (
@@ -211,8 +289,18 @@ fn big_data_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifC
             BranchBehavior::new(0.85, 0.92),
         ),
         Dct => (
-            Recipe { integer: 3.0, floating_point: 24.0, load: 4.0, store: 1.0, branch: 1.0 },
-            vec![MemorySegment::new(AccessPattern::Sequential, stream_ws, 1.0)],
+            Recipe {
+                integer: 3.0,
+                floating_point: 24.0,
+                load: 4.0,
+                store: 1.0,
+                branch: 1.0,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                stream_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.9, 0.95),
         ),
         DistanceCalculation => {
@@ -240,7 +328,8 @@ fn big_data_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifC
                 Recipe {
                     integer: DISTANCE_CENTROIDS * per_centroid_fixed
                         + (2.0 + sparse_overhead * SPARSE_INDEX_INTEGER_OVERHEAD) * effective,
-                    floating_point: DISTANCE_CENTROIDS * (per_centroid_fixed + 3.0 * effective / vector_width),
+                    floating_point: DISTANCE_CENTROIDS
+                        * (per_centroid_fixed + 3.0 * effective / vector_width),
                     load: DISTANCE_CENTROIDS * (2.0 + 1.2 * effective / vector_width)
                         + sparse_overhead * effective,
                     store: 0.1 * effective + DISTANCE_CENTROIDS,
@@ -269,7 +358,9 @@ fn big_data_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifC
                 vec![
                     MemorySegment::new(AccessPattern::Sequential, stream_ws, 0.5),
                     MemorySegment::new(
-                        AccessPattern::Strided { stride_bytes: (element_bytes as u64 * 64).max(64) },
+                        AccessPattern::Strided {
+                            stride_bytes: (element_bytes as u64 * 64).max(64),
+                        },
                         chunk_ws,
                         0.5,
                     ),
@@ -353,7 +444,11 @@ fn ai_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifConfig)
                     MemorySegment::new(AccessPattern::Sequential, activation_ws, 0.55),
                     // Blocked weight reuse keeps the live filter tile cache
                     // resident, as im2col/GEMM-style implementations do.
-                    MemorySegment::new(AccessPattern::Sequential, conv_weight_ws.min(192 * 1024), 0.45),
+                    MemorySegment::new(
+                        AccessPattern::Sequential,
+                        conv_weight_ws.min(192 * 1024),
+                        0.45,
+                    ),
                 ],
                 BranchBehavior::new(0.92, 0.97),
             )
@@ -373,23 +468,63 @@ fn ai_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifConfig)
             BranchBehavior::new(0.93, 0.97),
         ),
         ElementWiseMultiply => (
-            Recipe { integer: 0.3 * spatial, floating_point: 1.0 * spatial, load: 2.0 * spatial, store: 1.0 * spatial, branch: 0.15 * spatial },
-            vec![MemorySegment::new(AccessPattern::Sequential, activation_ws, 1.0)],
+            Recipe {
+                integer: 0.3 * spatial,
+                floating_point: 1.0 * spatial,
+                load: 2.0 * spatial,
+                store: 1.0 * spatial,
+                branch: 0.15 * spatial,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                activation_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.95, 0.98),
         ),
         Sigmoid | Tanh => (
-            Recipe { integer: 0.5 * spatial, floating_point: 6.0 * spatial, load: 1.0 * spatial, store: 1.0 * spatial, branch: 0.15 * spatial },
-            vec![MemorySegment::new(AccessPattern::Sequential, activation_ws, 1.0)],
+            Recipe {
+                integer: 0.5 * spatial,
+                floating_point: 6.0 * spatial,
+                load: 1.0 * spatial,
+                store: 1.0 * spatial,
+                branch: 0.15 * spatial,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                activation_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.95, 0.98),
         ),
         Softmax => (
-            Recipe { integer: 0.6 * spatial, floating_point: 5.0 * spatial, load: 2.0 * spatial, store: 1.0 * spatial, branch: 0.3 * spatial },
-            vec![MemorySegment::new(AccessPattern::Sequential, activation_ws, 1.0)],
+            Recipe {
+                integer: 0.6 * spatial,
+                floating_point: 5.0 * spatial,
+                load: 2.0 * spatial,
+                store: 1.0 * spatial,
+                branch: 0.3 * spatial,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                activation_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.9, 0.95),
         ),
         Relu => (
-            Recipe { integer: 0.8 * spatial, floating_point: 1.0 * spatial, load: 1.0 * spatial, store: 1.0 * spatial, branch: 1.0 * spatial },
-            vec![MemorySegment::new(AccessPattern::Sequential, activation_ws, 1.0)],
+            Recipe {
+                integer: 0.8 * spatial,
+                floating_point: 1.0 * spatial,
+                load: 1.0 * spatial,
+                store: 1.0 * spatial,
+                branch: 1.0 * spatial,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                activation_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.5, 0.82),
         ),
         MaxPooling | AveragePooling => {
@@ -404,34 +539,88 @@ fn ai_cost_profile(kind: MotifKind, data: &DataDescriptor, config: &MotifConfig)
                 },
                 vec![
                     MemorySegment::new(AccessPattern::Sequential, activation_ws, 0.85),
-                    MemorySegment::new(AccessPattern::Strided { stride_bytes: 256 }, activation_ws, 0.15),
+                    MemorySegment::new(
+                        AccessPattern::Strided { stride_bytes: 256 },
+                        activation_ws,
+                        0.15,
+                    ),
                 ],
                 BranchBehavior::new(0.6, 0.9),
             )
         }
         Dropout => (
-            Recipe { integer: 2.0 * spatial, floating_point: 0.8 * spatial, load: 1.0 * spatial, store: 1.0 * spatial, branch: 1.0 * spatial },
-            vec![MemorySegment::new(AccessPattern::Sequential, activation_ws, 1.0)],
+            Recipe {
+                integer: 2.0 * spatial,
+                floating_point: 0.8 * spatial,
+                load: 1.0 * spatial,
+                store: 1.0 * spatial,
+                branch: 1.0 * spatial,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                activation_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.5, 0.70),
         ),
         BatchNormalization => (
-            Recipe { integer: 0.6 * spatial, floating_point: 5.0 * spatial, load: 2.0 * spatial, store: 1.0 * spatial, branch: 0.2 * spatial },
-            vec![MemorySegment::new(AccessPattern::Sequential, activation_ws, 1.0)],
+            Recipe {
+                integer: 0.6 * spatial,
+                floating_point: 5.0 * spatial,
+                load: 2.0 * spatial,
+                store: 1.0 * spatial,
+                branch: 0.2 * spatial,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                activation_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.93, 0.97),
         ),
         CosineNormalization => (
-            Recipe { integer: 0.5 * spatial, floating_point: 4.0 * spatial, load: 2.0 * spatial, store: 1.0 * spatial, branch: 0.2 * spatial },
-            vec![MemorySegment::new(AccessPattern::Sequential, activation_ws, 1.0)],
+            Recipe {
+                integer: 0.5 * spatial,
+                floating_point: 4.0 * spatial,
+                load: 2.0 * spatial,
+                store: 1.0 * spatial,
+                branch: 0.2 * spatial,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                activation_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.93, 0.97),
         ),
         ReduceSum => (
-            Recipe { integer: 0.4 * spatial, floating_point: 1.0 * spatial, load: 1.0 * spatial, store: 0.02 * spatial, branch: 0.2 * spatial },
-            vec![MemorySegment::new(AccessPattern::Sequential, activation_ws, 1.0)],
+            Recipe {
+                integer: 0.4 * spatial,
+                floating_point: 1.0 * spatial,
+                load: 1.0 * spatial,
+                store: 0.02 * spatial,
+                branch: 0.2 * spatial,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                activation_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.95, 0.98),
         ),
         ReduceMax => (
-            Recipe { integer: 0.8 * spatial, floating_point: 1.0 * spatial, load: 1.0 * spatial, store: 0.02 * spatial, branch: 1.0 * spatial },
-            vec![MemorySegment::new(AccessPattern::Sequential, activation_ws, 1.0)],
+            Recipe {
+                integer: 0.8 * spatial,
+                floating_point: 1.0 * spatial,
+                load: 1.0 * spatial,
+                store: 0.02 * spatial,
+                branch: 1.0 * spatial,
+            },
+            vec![MemorySegment::new(
+                AccessPattern::Sequential,
+                activation_ws,
+                1.0,
+            )],
             BranchBehavior::new(0.15, 0.7),
         ),
         _ => unreachable!("big-data kinds handled separately"),
@@ -472,12 +661,21 @@ mod tests {
             gb << 30,
             400,
             sparsity,
-            Distribution::Gaussian { mean: 0.0, std_dev: 1.0 },
+            Distribution::Gaussian {
+                mean: 0.0,
+                std_dev: 1.0,
+            },
         )
     }
 
     fn image_data(images: u64) -> DataDescriptor {
-        DataDescriptor::new(DataClass::Image, images * 12_288, 12_288, 0.0, Distribution::Uniform)
+        DataDescriptor::new(
+            DataClass::Image,
+            images * 12_288,
+            12_288,
+            0.0,
+            Distribution::Uniform,
+        )
     }
 
     #[test]
@@ -492,9 +690,15 @@ mod tests {
             };
             let p = cost_profile(kind, &data, cfg);
             assert!(p.total_instructions() > 0, "{kind} has no instructions");
-            assert!(!p.memory_segments.is_empty(), "{kind} has no memory segments");
+            assert!(
+                !p.memory_segments.is_empty(),
+                "{kind} has no memory segments"
+            );
             let mix = p.instructions.mix();
-            assert!((mix.total() - 1.0).abs() < 1e-9, "{kind} mix not normalised");
+            assert!(
+                (mix.total() - 1.0).abs() < 1e-9,
+                "{kind} mix not normalised"
+            );
         }
     }
 
@@ -514,7 +718,11 @@ mod tests {
             &image_data(10_000),
             &MotifConfig::ai_default(),
         );
-        let sort = cost_profile(MotifKind::QuickSort, &text_data(1), &MotifConfig::big_data_default());
+        let sort = cost_profile(
+            MotifKind::QuickSort,
+            &text_data(1),
+            &MotifConfig::big_data_default(),
+        );
         assert!(conv.instructions.mix().floating_point > 0.3);
         assert!(sort.instructions.mix().floating_point < 0.05);
     }
@@ -540,7 +748,11 @@ mod tests {
 
     #[test]
     fn spilling_motifs_have_disk_traffic_and_ai_motifs_little() {
-        let sort = cost_profile(MotifKind::QuickSort, &text_data(1), &MotifConfig::big_data_default());
+        let sort = cost_profile(
+            MotifKind::QuickSort,
+            &text_data(1),
+            &MotifConfig::big_data_default(),
+        );
         assert_eq!(sort.disk_read_bytes, 1 << 30);
         assert_eq!(sort.disk_write_bytes, 1 << 30);
         let images = image_data(10_000);
@@ -551,8 +763,18 @@ mod tests {
 
     #[test]
     fn graph_traversal_uses_pointer_chasing() {
-        let g = DataDescriptor::new(DataClass::Graph, 1 << 30, 8, 0.0, Distribution::PowerLaw { exponent: 1.0 });
-        let p = cost_profile(MotifKind::GraphTraversal, &g, &MotifConfig::big_data_default());
+        let g = DataDescriptor::new(
+            DataClass::Graph,
+            1 << 30,
+            8,
+            0.0,
+            Distribution::PowerLaw { exponent: 1.0 },
+        );
+        let p = cost_profile(
+            MotifKind::GraphTraversal,
+            &g,
+            &MotifConfig::big_data_default(),
+        );
         assert!(p
             .memory_segments
             .iter()
@@ -571,8 +793,16 @@ mod tests {
     #[test]
     fn bigger_batch_increases_ai_working_set() {
         let data = image_data(10_000);
-        let small = cost_profile(MotifKind::Relu, &data, &MotifConfig::ai_default().with_batch_size(16));
-        let large = cost_profile(MotifKind::Relu, &data, &MotifConfig::ai_default().with_batch_size(256));
+        let small = cost_profile(
+            MotifKind::Relu,
+            &data,
+            &MotifConfig::ai_default().with_batch_size(16),
+        );
+        let large = cost_profile(
+            MotifKind::Relu,
+            &data,
+            &MotifConfig::ai_default().with_batch_size(256),
+        );
         assert!(
             large.memory_segments[0].working_set_bytes > small.memory_segments[0].working_set_bytes
         );
@@ -581,7 +811,10 @@ mod tests {
     #[test]
     fn disabling_spill_removes_disk_writes() {
         let cfg = MotifConfig::big_data_default();
-        let no_spill = MotifConfig { spill_to_disk: false, ..cfg };
+        let no_spill = MotifConfig {
+            spill_to_disk: false,
+            ..cfg
+        };
         let with_spill = cost_profile(MotifKind::QuickSort, &text_data(1), &cfg);
         let without = cost_profile(MotifKind::QuickSort, &text_data(1), &no_spill);
         assert!(with_spill.disk_write_bytes > 0);

@@ -19,12 +19,7 @@
 /// # Panics
 ///
 /// Panics if `num_tasks` is zero or a worker thread panics.
-pub fn map_chunks<T, R, M, C>(
-    items: &[T],
-    num_tasks: usize,
-    map: M,
-    combine: C,
-) -> Option<R>
+pub fn map_chunks<T, R, M, C>(items: &[T], num_tasks: usize, map: M, combine: C) -> Option<R>
 where
     T: Sync,
     R: Send,

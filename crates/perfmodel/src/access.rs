@@ -9,8 +9,8 @@
 //! sample stand in for the full run — the same idea as sampled simulation,
 //! applied to a synthetic stream whose locality matches the kernel.
 
-use rand::Rng;
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 
 /// How a kernel walks a region of memory.

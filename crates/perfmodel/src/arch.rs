@@ -197,6 +197,9 @@ mod tests {
     fn node_configs_match_paper_clusters() {
         assert_eq!(NodeConfig::westmere_node().memory_gb, 32);
         assert_eq!(NodeConfig::westmere_node_64gb().memory_gb, 64);
-        assert_eq!(NodeConfig::haswell_node().arch.name, "Xeon E5-2620 v3 (Haswell)");
+        assert_eq!(
+            NodeConfig::haswell_node().arch.name,
+            "Xeon E5-2620 v3 (Haswell)"
+        );
     }
 }

@@ -176,7 +176,11 @@ mod tests {
         for i in 0..10_000u64 {
             p.predict_and_update(0x400_000 + (i % 4) * 8, true);
         }
-        assert!(p.stats().miss_ratio() < 0.01, "miss {}", p.stats().miss_ratio());
+        assert!(
+            p.stats().miss_ratio() < 0.01,
+            "miss {}",
+            p.stats().miss_ratio()
+        );
     }
 
     #[test]
@@ -188,8 +192,16 @@ mod tests {
             gshare.predict_and_update(0x400_100, taken);
             bimodal.predict_and_update(0x400_100, taken);
         }
-        assert!(gshare.stats().miss_ratio() < 0.05, "gshare {}", gshare.stats().miss_ratio());
-        assert!(bimodal.stats().miss_ratio() > 0.4, "bimodal {}", bimodal.stats().miss_ratio());
+        assert!(
+            gshare.stats().miss_ratio() < 0.05,
+            "gshare {}",
+            gshare.stats().miss_ratio()
+        );
+        assert!(
+            bimodal.stats().miss_ratio() > 0.4,
+            "bimodal {}",
+            bimodal.stats().miss_ratio()
+        );
     }
 
     #[test]

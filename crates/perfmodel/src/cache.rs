@@ -26,13 +26,23 @@ impl CacheConfig {
     /// `line_bytes * associativity`.  (The capacity itself need not be a
     /// power of two: the 12 MB Westmere L3 is not.)
     pub fn new(size_bytes: u64, line_bytes: u64, associativity: u32) -> Self {
-        assert!(size_bytes > 0 && line_bytes > 0 && associativity > 0, "cache geometry must be non-zero");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes > 0 && line_bytes > 0 && associativity > 0,
+            "cache geometry must be non-zero"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(
             size_bytes % (line_bytes * associativity as u64) == 0,
             "capacity must divide evenly into sets"
         );
-        Self { size_bytes, line_bytes, associativity }
+        Self {
+            size_bytes,
+            line_bytes,
+            associativity,
+        }
     }
 
     /// Number of sets.
@@ -90,8 +100,14 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = vec![Vec::with_capacity(config.associativity as usize); config.num_sets() as usize];
-        Self { config, sets, tick: 0, stats: CacheStats::default() }
+        let sets =
+            vec![Vec::with_capacity(config.associativity as usize); config.num_sets() as usize];
+        Self {
+            config,
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -178,7 +194,11 @@ mod tests {
         let mut c = small_cache();
         assert_eq!(c.access(0x1000), AccessOutcome::Miss);
         assert_eq!(c.access(0x1000), AccessOutcome::Hit);
-        assert_eq!(c.access(0x1004), AccessOutcome::Hit, "same line, different offset");
+        assert_eq!(
+            c.access(0x1004),
+            AccessOutcome::Hit,
+            "same line, different offset"
+        );
         assert_eq!(c.stats().hits, 2);
         assert_eq!(c.stats().misses, 1);
     }
@@ -249,6 +269,10 @@ mod tests {
         c.access(0);
         c.reset_stats();
         assert_eq!(c.stats().accesses(), 0);
-        assert_eq!(c.access(0), AccessOutcome::Hit, "line survived the stats reset");
+        assert_eq!(
+            c.access(0),
+            AccessOutcome::Hit,
+            "line survived the stats reset"
+        );
     }
 }

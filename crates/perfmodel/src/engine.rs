@@ -7,8 +7,8 @@
 //! profile's access and branch descriptors, and every analytic step is a
 //! pure function of the profile and the architecture.
 
-use rand::Rng;
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 
 use dmpb_metrics::MetricVector;
@@ -109,7 +109,10 @@ pub struct ExecutionEngine {
 impl ExecutionEngine {
     /// Creates an engine for the given architecture with default sampling.
     pub fn new(arch: ArchProfile) -> Self {
-        Self { arch, config: EngineConfig::default() }
+        Self {
+            arch,
+            config: EngineConfig::default(),
+        }
     }
 
     /// Creates an engine with explicit sampling configuration.
@@ -234,8 +237,8 @@ impl ExecutionEngine {
             .iter()
             .enumerate()
             .filter_map(|(i, segment)| {
-                let n = ((self.config.sample_data_accesses as f64) * segment.access_weight)
-                    .round() as usize;
+                let n = ((self.config.sample_data_accesses as f64) * segment.access_weight).round()
+                    as usize;
                 if n == 0 {
                     return None;
                 }
@@ -382,7 +385,12 @@ mod tests {
         assert!(m.ipc > 0.0 && m.ipc <= 4.0);
         assert!(m.mips > 0.0);
         assert!((0.0..=1.0).contains(&m.branch_miss_ratio));
-        for hit in [m.l1i_hit_ratio, m.l1d_hit_ratio, m.l2_hit_ratio, m.l3_hit_ratio] {
+        for hit in [
+            m.l1i_hit_ratio,
+            m.l1d_hit_ratio,
+            m.l2_hit_ratio,
+            m.l3_hit_ratio,
+        ] {
             assert!((0.0..=1.0).contains(&hit));
         }
     }
@@ -402,7 +410,12 @@ mod tests {
         let twelve = e.run(&p, 12);
         // Scaling is sub-linear because the twelve-thread run saturates the
         // node's memory bandwidth, but it must still be faster.
-        assert!(twelve.runtime_secs < one.runtime_secs * 0.9, "1t {} 12t {}", one.runtime_secs, twelve.runtime_secs);
+        assert!(
+            twelve.runtime_secs < one.runtime_secs * 0.9,
+            "1t {} 12t {}",
+            one.runtime_secs,
+            twelve.runtime_secs
+        );
     }
 
     #[test]
@@ -427,13 +440,19 @@ mod tests {
     #[test]
     fn random_working_set_hurts_l1d_hit_ratio() {
         let mut streaming = base_profile();
-        streaming.memory_segments = vec![MemorySegment::new(AccessPattern::Sequential, 1 << 30, 1.0)];
+        streaming.memory_segments =
+            vec![MemorySegment::new(AccessPattern::Sequential, 1 << 30, 1.0)];
         let mut random = base_profile();
         random.memory_segments = vec![MemorySegment::new(AccessPattern::Random, 1 << 30, 1.0)];
         let e = engine();
         let s = e.run(&streaming, 12);
         let r = e.run(&random, 12);
-        assert!(s.l1d_hit_ratio > r.l1d_hit_ratio + 0.2, "seq {} rand {}", s.l1d_hit_ratio, r.l1d_hit_ratio);
+        assert!(
+            s.l1d_hit_ratio > r.l1d_hit_ratio + 0.2,
+            "seq {} rand {}",
+            s.l1d_hit_ratio,
+            r.l1d_hit_ratio
+        );
     }
 
     #[test]
@@ -455,7 +474,12 @@ mod tests {
         let e = engine();
         let r = e.run(&regular, 12);
         let i = e.run(&irregular, 12);
-        assert!(i.branch_miss_ratio > r.branch_miss_ratio + 0.1, "irr {} reg {}", i.branch_miss_ratio, r.branch_miss_ratio);
+        assert!(
+            i.branch_miss_ratio > r.branch_miss_ratio + 0.1,
+            "irr {} reg {}",
+            i.branch_miss_ratio,
+            r.branch_miss_ratio
+        );
     }
 
     #[test]
@@ -484,7 +508,12 @@ mod tests {
         let p = base_profile();
         let w = ExecutionEngine::new(ArchProfile::westmere_e5645()).run(&p, 12);
         let h = ExecutionEngine::new(ArchProfile::haswell_e5_2620_v3()).run(&p, 12);
-        assert!(h.runtime_secs < w.runtime_secs, "haswell {} westmere {}", h.runtime_secs, w.runtime_secs);
+        assert!(
+            h.runtime_secs < w.runtime_secs,
+            "haswell {} westmere {}",
+            h.runtime_secs,
+            w.runtime_secs
+        );
         let speedup = w.runtime_secs / h.runtime_secs;
         assert!((1.05..=2.5).contains(&speedup), "speedup {speedup}");
     }

@@ -115,7 +115,11 @@ mod tests {
                 h.access_data(i * 64);
             }
         }
-        assert!(h.l1d_stats().hit_ratio() > 0.7, "l1d {}", h.l1d_stats().hit_ratio());
+        assert!(
+            h.l1d_stats().hit_ratio() > 0.7,
+            "l1d {}",
+            h.l1d_stats().hit_ratio()
+        );
     }
 
     #[test]
@@ -127,8 +131,16 @@ mod tests {
                 h.access_data(i * 64);
             }
         }
-        assert!(h.l1d_stats().hit_ratio() < 0.2, "l1d {}", h.l1d_stats().hit_ratio());
-        assert!(h.l2_stats().hit_ratio() > 0.6, "l2 {}", h.l2_stats().hit_ratio());
+        assert!(
+            h.l1d_stats().hit_ratio() < 0.2,
+            "l1d {}",
+            h.l1d_stats().hit_ratio()
+        );
+        assert!(
+            h.l2_stats().hit_ratio() > 0.6,
+            "l2 {}",
+            h.l2_stats().hit_ratio()
+        );
     }
 
     #[test]
@@ -138,7 +150,11 @@ mod tests {
         for i in 0..(64 * 1024 * 1024 / 64) {
             h.access_data(i * 64);
         }
-        assert!(h.l3_stats().hit_ratio() < 0.2, "l3 {}", h.l3_stats().hit_ratio());
+        assert!(
+            h.l3_stats().hit_ratio() < 0.2,
+            "l3 {}",
+            h.l3_stats().hit_ratio()
+        );
     }
 
     #[test]

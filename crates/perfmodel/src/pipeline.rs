@@ -124,16 +124,36 @@ mod tests {
 
     #[test]
     fn friendly_code_achieves_high_ipc() {
-        let e = estimate(&ArchProfile::westmere_e5645(), &typical_mix(), &cache_friendly(), 0.02);
+        let e = estimate(
+            &ArchProfile::westmere_e5645(),
+            &typical_mix(),
+            &cache_friendly(),
+            0.02,
+        );
         assert!(e.ipc > 1.0, "ipc {}", e.ipc);
         assert!(e.ipc <= 4.0);
     }
 
     #[test]
     fn hostile_code_is_memory_bound() {
-        let good = estimate(&ArchProfile::westmere_e5645(), &typical_mix(), &cache_friendly(), 0.02);
-        let bad = estimate(&ArchProfile::westmere_e5645(), &typical_mix(), &cache_hostile(), 0.1);
-        assert!(bad.ipc < good.ipc * 0.5, "bad {} vs good {}", bad.ipc, good.ipc);
+        let good = estimate(
+            &ArchProfile::westmere_e5645(),
+            &typical_mix(),
+            &cache_friendly(),
+            0.02,
+        );
+        let bad = estimate(
+            &ArchProfile::westmere_e5645(),
+            &typical_mix(),
+            &cache_hostile(),
+            0.1,
+        );
+        assert!(
+            bad.ipc < good.ipc * 0.5,
+            "bad {} vs good {}",
+            bad.ipc,
+            good.ipc
+        );
     }
 
     #[test]
@@ -147,8 +167,18 @@ mod tests {
     #[test]
     fn haswell_is_faster_than_westmere_on_same_behavior() {
         let mix = typical_mix();
-        let w = estimate(&ArchProfile::westmere_e5645(), &mix, &cache_friendly(), 0.03);
-        let h = estimate(&ArchProfile::haswell_e5_2620_v3(), &mix, &cache_friendly(), 0.03);
+        let w = estimate(
+            &ArchProfile::westmere_e5645(),
+            &mix,
+            &cache_friendly(),
+            0.03,
+        );
+        let h = estimate(
+            &ArchProfile::haswell_e5_2620_v3(),
+            &mix,
+            &cache_friendly(),
+            0.03,
+        );
         assert!(h.ipc > w.ipc, "haswell {} westmere {}", h.ipc, w.ipc);
     }
 

@@ -73,7 +73,10 @@ impl InstructionCounts {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scaled(&self, factor: f64) -> InstructionCounts {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative"
+        );
         let s = |v: u64| (v as f64 * factor).round() as u64;
         InstructionCounts {
             integer: s(self.integer),
@@ -110,7 +113,11 @@ impl MemorySegment {
             access_weight.is_finite() && access_weight >= 0.0,
             "access weight must be a non-negative finite number"
         );
-        Self { pattern, working_set_bytes, access_weight }
+        Self {
+            pattern,
+            working_set_bytes,
+            access_weight,
+        }
     }
 }
 
@@ -132,9 +139,18 @@ impl BranchBehavior {
     ///
     /// Panics if either field is outside `[0, 1]`.
     pub fn new(taken_ratio: f64, regularity: f64) -> Self {
-        assert!((0.0..=1.0).contains(&taken_ratio), "taken ratio must be within [0, 1]");
-        assert!((0.0..=1.0).contains(&regularity), "regularity must be within [0, 1]");
-        Self { taken_ratio, regularity }
+        assert!(
+            (0.0..=1.0).contains(&taken_ratio),
+            "taken ratio must be within [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&regularity),
+            "regularity must be within [0, 1]"
+        );
+        Self {
+            taken_ratio,
+            regularity,
+        }
     }
 
     /// Loop-dominated, highly predictable branch behaviour.
@@ -233,7 +249,10 @@ impl OpProfile {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn scaled(&self, factor: f64) -> OpProfile {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be non-negative"
+        );
         let ws_factor = factor.sqrt().max(f64::MIN_POSITIVE);
         OpProfile {
             name: self.name.clone(),
@@ -242,7 +261,8 @@ impl OpProfile {
                 .memory_segments
                 .iter()
                 .map(|s| MemorySegment {
-                    working_set_bytes: ((s.working_set_bytes as f64 * ws_factor).round() as u64).max(1),
+                    working_set_bytes: ((s.working_set_bytes as f64 * ws_factor).round() as u64)
+                        .max(1),
                     ..*s
                 })
                 .collect(),
@@ -283,7 +303,8 @@ impl OpProfile {
         let br_self = self.instructions.branch as f64;
         let br_other = other.instructions.branch as f64;
         let branch = if br_self + br_other > 0.0 {
-            self.branch.blend(&other.branch, br_other / (br_self + br_other))
+            self.branch
+                .blend(&other.branch, br_other / (br_self + br_other))
         } else {
             self.branch
         };
@@ -342,7 +363,13 @@ mod tests {
 
     #[test]
     fn counts_total_and_mix() {
-        let c = InstructionCounts { integer: 40, floating_point: 10, load: 25, store: 15, branch: 10 };
+        let c = InstructionCounts {
+            integer: 40,
+            floating_point: 10,
+            load: 25,
+            store: 15,
+            branch: 10,
+        };
         assert_eq!(c.total(), 100);
         assert_eq!(c.memory(), 40);
         assert!((c.mix().integer - 0.4).abs() < 1e-12);
@@ -350,7 +377,13 @@ mod tests {
 
     #[test]
     fn scaled_counts_round() {
-        let c = InstructionCounts { integer: 3, floating_point: 0, load: 0, store: 0, branch: 0 };
+        let c = InstructionCounts {
+            integer: 3,
+            floating_point: 0,
+            load: 0,
+            store: 0,
+            branch: 0,
+        };
         assert_eq!(c.scaled(2.5).integer, 8);
         assert_eq!(c.scaled(0.0).integer, 0);
     }
@@ -365,7 +398,9 @@ mod tests {
         let m1 = s.instructions.mix();
         assert!((m0.integer - m1.integer).abs() < 1e-9);
         // Working set grows sub-linearly.
-        assert!(s.memory_segments[0].working_set_bytes < 10 * p.memory_segments[0].working_set_bytes);
+        assert!(
+            s.memory_segments[0].working_set_bytes < 10 * p.memory_segments[0].working_set_bytes
+        );
         assert!(s.memory_segments[0].working_set_bytes > p.memory_segments[0].working_set_bytes);
     }
 
@@ -374,7 +409,10 @@ mod tests {
         let a = profile("a", 50);
         let b = profile("b", 150);
         let m = a.merge(&b);
-        assert_eq!(m.total_instructions(), a.total_instructions() + b.total_instructions());
+        assert_eq!(
+            m.total_instructions(),
+            a.total_instructions() + b.total_instructions()
+        );
         assert_eq!(m.disk_read_bytes, 2000);
         assert_eq!(m.code_footprint_bytes, 8 * 1024 + 2 * 1024);
     }
@@ -411,8 +449,13 @@ mod tests {
 
     #[test]
     fn merge_all_folds_left() {
-        let merged = OpProfile::merge_all(vec![profile("a", 10), profile("b", 10), profile("c", 10)]).unwrap();
-        assert_eq!(merged.total_instructions(), 3 * profile("x", 10).total_instructions());
+        let merged =
+            OpProfile::merge_all(vec![profile("a", 10), profile("b", 10), profile("c", 10)])
+                .unwrap();
+        assert_eq!(
+            merged.total_instructions(),
+            3 * profile("x", 10).total_instructions()
+        );
     }
 
     #[test]

@@ -40,9 +40,17 @@ pub fn jvm_overhead_profile(processed_bytes: u64, heap_bytes: u64) -> OpProfile 
         // Most accesses hit hot young-generation objects and task-local
         // buffers; the rest walk colder object graphs (GC marking, spill
         // index lookups) over a slice of the live heap.
-        MemorySegment::new(AccessPattern::Sequential, (processed_bytes / 8).max(1 << 20), 0.62),
+        MemorySegment::new(
+            AccessPattern::Sequential,
+            (processed_bytes / 8).max(1 << 20),
+            0.62,
+        ),
         MemorySegment::new(AccessPattern::Random, 2 << 20, 0.30),
-        MemorySegment::new(AccessPattern::PointerChase, (heap_bytes / 128).max(48 << 20), 0.08),
+        MemorySegment::new(
+            AccessPattern::PointerChase,
+            (heap_bytes / 128).max(48 << 20),
+            0.08,
+        ),
     ];
     profile.branch = BranchBehavior::new(0.55, 0.88);
     profile.code_footprint_bytes = JVM_CODE_FOOTPRINT_BYTES;

@@ -83,7 +83,10 @@ pub fn per_node_job_profile(
     user_profiles: Vec<OpProfile>,
     name: &str,
 ) -> OpProfile {
-    assert!(!user_profiles.is_empty(), "a job needs at least one user profile");
+    assert!(
+        !user_profiles.is_empty(),
+        "a job needs at least one user profile"
+    );
     let user = OpProfile::merge_all(user_profiles).expect("non-empty");
 
     let input_per_node = shape.input_bytes_per_node(cluster);
@@ -138,7 +141,11 @@ mod tests {
         assert!(read > 25 << 30, "read {read}");
         assert!(write > 25 << 30, "write {write}");
         // An aggregating job with tiny shuffle writes much less.
-        let agg = JobShape { shuffle_ratio: 0.01, output_ratio: 0.01, ..shape() };
+        let agg = JobShape {
+            shuffle_ratio: 0.01,
+            output_ratio: 0.01,
+            ..shape()
+        };
         let (_, agg_write) = agg.disk_traffic_per_node(&cluster());
         assert!(agg_write < write / 10);
     }
@@ -149,7 +156,10 @@ mod tests {
         let sort = MotifKind::QuickSort.cost_profile(&data, &MotifConfig::big_data_default());
         let user_instructions = sort.total_instructions();
         let job = per_node_job_profile(&shape(), &cluster(), vec![sort], "terasort");
-        assert!(job.total_instructions() > user_instructions, "framework overhead missing");
+        assert!(
+            job.total_instructions() > user_instructions,
+            "framework overhead missing"
+        );
         assert_eq!(job.name, "terasort");
         assert!(job.code_footprint_bytes >= jvm::JVM_CODE_FOOTPRINT_BYTES);
         assert!(job.disk_read_bytes > 0 && job.disk_write_bytes > 0);

@@ -3,13 +3,18 @@
 //! The original workloads do not run their motifs on bare metal: Hadoop
 //! jobs pay for the JVM (interpretation, object churn, garbage collection),
 //! the MapReduce runtime (task scheduling, serialisation, spill/merge,
-//! HDFS replication) and the shuffle; TensorFlow jobs pay for the dataflow
-//! runtime and the parameter-server step loop.  These overheads are a large
-//! part of why the originals behave differently from bare kernels — and
-//! exactly the gap the proxy methodology has to close — so they are
-//! modelled explicitly here as additional [`dmpb_perfmodel::OpProfile`]
-//! components merged into each workload's profile.
+//! HDFS replication) and the shuffle; Spark applications pay for the same
+//! JVM plus the DAG scheduler, block-manager caching and the sort-based
+//! shuffle at wide-dependency boundaries; TensorFlow jobs pay for the
+//! dataflow runtime and the parameter-server step loop.  These overheads
+//! are a large part of why the originals behave differently from bare
+//! kernels — and exactly the gap the proxy methodology has to close — so
+//! they are modelled explicitly here as additional
+//! [`dmpb_perfmodel::OpProfile`] components merged into each workload's
+//! profile.  The JVM model ([`jvm`]) is shared by the Hadoop and Spark
+//! stacks; what differs is how many bytes each stack moves through it.
 
 pub mod jvm;
 pub mod mapreduce;
+pub mod spark;
 pub mod tensorflow;

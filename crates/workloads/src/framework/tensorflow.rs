@@ -36,7 +36,13 @@ pub struct LayerSpec {
 impl LayerSpec {
     /// Convenience constructor.
     pub fn new(motif: MotifKind, height: u32, width: u32, channels: u32, filter: u32) -> Self {
-        Self { motif, height, width, channels, filter }
+        Self {
+            motif,
+            height,
+            width,
+            channels,
+            filter,
+        }
     }
 }
 
@@ -60,7 +66,10 @@ impl NetworkSpec {
 
     /// Number of convolution layers (a sanity metric used in tests).
     pub fn num_convolutions(&self) -> usize {
-        self.layers.iter().filter(|l| l.motif == MotifKind::Convolution).count()
+        self.layers
+            .iter()
+            .filter(|l| l.motif == MotifKind::Convolution)
+            .count()
     }
 }
 
@@ -98,9 +107,13 @@ pub fn per_node_training_profile(
         let config = MotifConfig::ai_default()
             .with_batch_size(training.batch_size)
             .with_geometry(layer.height, layer.width, layer.channels);
-        let config = MotifConfig { filter_size: layer.filter, ..config };
+        let config = MotifConfig {
+            filter_size: layer.filter,
+            ..config
+        };
         // One "element" of the descriptor is one image in the batch.
-        let per_image_bytes = u64::from(layer.height) * u64::from(layer.width) * u64::from(layer.channels) * 4;
+        let per_image_bytes =
+            u64::from(layer.height) * u64::from(layer.width) * u64::from(layer.channels) * 4;
         let data = DataDescriptor::new(
             DataClass::Image,
             per_image_bytes * batch,
@@ -172,27 +185,56 @@ mod tests {
     }
 
     fn training() -> TrainingConfig {
-        TrainingConfig { total_steps: 1000, batch_size: 64 }
+        TrainingConfig {
+            total_steps: 1000,
+            batch_size: 64,
+        }
     }
 
     #[test]
     fn profile_scales_with_steps() {
         let cluster = ClusterConfig::five_node_westmere();
-        let short = per_node_training_profile(&tiny_network(), TrainingConfig { total_steps: 100, batch_size: 64 }, &cluster);
-        let long = per_node_training_profile(&tiny_network(), TrainingConfig { total_steps: 1000, batch_size: 64 }, &cluster);
+        let short = per_node_training_profile(
+            &tiny_network(),
+            TrainingConfig {
+                total_steps: 100,
+                batch_size: 64,
+            },
+            &cluster,
+        );
+        let long = per_node_training_profile(
+            &tiny_network(),
+            TrainingConfig {
+                total_steps: 1000,
+                batch_size: 64,
+            },
+            &cluster,
+        );
         let ratio = long.total_instructions() as f64 / short.total_instructions() as f64;
         assert!((8.0..=12.0).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]
     fn profile_is_fp_heavy() {
-        let p = per_node_training_profile(&tiny_network(), training(), &ClusterConfig::five_node_westmere());
-        assert!(p.instructions.mix().floating_point > 0.25, "fp {}", p.instructions.mix().floating_point);
+        let p = per_node_training_profile(
+            &tiny_network(),
+            training(),
+            &ClusterConfig::five_node_westmere(),
+        );
+        assert!(
+            p.instructions.mix().floating_point > 0.25,
+            "fp {}",
+            p.instructions.mix().floating_point
+        );
     }
 
     #[test]
     fn disk_traffic_is_modest() {
-        let p = per_node_training_profile(&tiny_network(), training(), &ClusterConfig::five_node_westmere());
+        let p = per_node_training_profile(
+            &tiny_network(),
+            training(),
+            &ClusterConfig::five_node_westmere(),
+        );
         // Input pipeline only: steps/worker * batch * image bytes.
         assert_eq!(p.disk_write_bytes, 0);
         assert_eq!(p.disk_read_bytes, 250 * 64 * 3 * 1024);
@@ -200,8 +242,16 @@ mod tests {
 
     #[test]
     fn fewer_workers_means_more_steps_per_node() {
-        let five = per_node_training_profile(&tiny_network(), training(), &ClusterConfig::five_node_westmere());
-        let three = per_node_training_profile(&tiny_network(), training(), &ClusterConfig::three_node_westmere_64gb());
+        let five = per_node_training_profile(
+            &tiny_network(),
+            training(),
+            &ClusterConfig::five_node_westmere(),
+        );
+        let three = per_node_training_profile(
+            &tiny_network(),
+            training(),
+            &ClusterConfig::three_node_westmere_64gb(),
+        );
         assert!(three.total_instructions() > five.total_instructions());
     }
 

@@ -40,17 +40,26 @@ pub struct KMeans {
 impl KMeans {
     /// The paper's Section III configuration: 100 GB, 90 % sparse.
     pub fn paper_configuration() -> Self {
-        Self { input_bytes: 100 << 30, sparsity: 0.9 }
+        Self {
+            input_bytes: 100 << 30,
+            sparsity: 0.9,
+        }
     }
 
     /// The dense-input variant of the Fig. 7 / Fig. 8 case study.
     pub fn dense_configuration() -> Self {
-        Self { sparsity: 0.0, ..Self::paper_configuration() }
+        Self {
+            sparsity: 0.0,
+            ..Self::paper_configuration()
+        }
     }
 
     /// A scaled-down configuration.
     pub fn scaled(input_bytes: u64, sparsity: f64) -> Self {
-        Self { input_bytes, sparsity }
+        Self {
+            input_bytes,
+            sparsity,
+        }
     }
 
     fn user_profiles(&self, cluster: &ClusterConfig) -> Vec<OpProfile> {
@@ -117,7 +126,10 @@ impl Workload for KMeans {
             self.input_bytes,
             per_vector_bytes,
             self.sparsity,
-            dmpb_datagen::Distribution::Gaussian { mean: 0.0, std_dev: 1.0 },
+            dmpb_datagen::Distribution::Gaussian {
+                mean: 0.0,
+                std_dev: 1.0,
+            },
         )
     }
 

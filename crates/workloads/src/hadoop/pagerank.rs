@@ -30,7 +30,9 @@ pub struct PageRank {
 impl PageRank {
     /// The paper's Section III configuration: a 2^26-vertex graph.
     pub fn paper_configuration() -> Self {
-        Self { num_vertices: 1 << 26 }
+        Self {
+            num_vertices: 1 << 26,
+        }
     }
 
     /// A scaled-down configuration.
@@ -126,7 +128,10 @@ mod tests {
     fn paper_configuration_has_2_pow_26_vertices() {
         let p = PageRank::paper_configuration();
         assert_eq!(p.num_vertices, 1 << 26);
-        assert_eq!(p.input_descriptor().element_count(), (1 << 26) * AVG_DEGREE as u64);
+        assert_eq!(
+            p.input_descriptor().element_count(),
+            (1 << 26) * AVG_DEGREE as u64
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub struct TeraSort {
 impl TeraSort {
     /// The paper's Section III configuration: 100 GB of gensort text.
     pub fn paper_configuration() -> Self {
-        Self { input_bytes: 100 << 30 }
+        Self {
+            input_bytes: 100 << 30,
+        }
     }
 
     /// A scaled-down configuration for quick experiments and tests.
@@ -133,7 +135,11 @@ mod tests {
         let t = TeraSort::paper_configuration();
         let cluster = ClusterConfig::five_node_westmere();
         let p = t.per_node_profile(&cluster);
-        assert!(p.total_disk_bytes() > 50 << 30, "disk {}", p.total_disk_bytes());
+        assert!(
+            p.total_disk_bytes() > 50 << 30,
+            "disk {}",
+            p.total_disk_bytes()
+        );
         let mix = p.instructions.mix();
         assert!(mix.floating_point < 0.05, "fp {}", mix.floating_point);
         assert!(mix.integer > 0.3);

@@ -9,14 +9,16 @@
 //! Table III lists the involved motifs as Matrix, Sampling, Transform and
 //! Statistics.
 
-use dmpb_datagen::image::TensorShape;
 use dmpb_datagen::image::ImageGenerator;
+use dmpb_datagen::image::TensorShape;
 use dmpb_datagen::DataDescriptor;
 use dmpb_motifs::{MotifClass, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 
 use crate::cluster::ClusterConfig;
-use crate::framework::tensorflow::{per_node_training_profile, LayerSpec, NetworkSpec, TrainingConfig};
+use crate::framework::tensorflow::{
+    per_node_training_profile, LayerSpec, NetworkSpec, TrainingConfig,
+};
 use crate::workload::{Workload, WorkloadKind};
 
 /// Number of CIFAR-10 training images (per epoch).
@@ -36,13 +38,19 @@ pub struct AlexNet {
 impl AlexNet {
     /// The Section III configuration: 10 000 steps, batch 128.
     pub fn paper_configuration() -> Self {
-        Self { total_steps: 10_000, batch_size: 128 }
+        Self {
+            total_steps: 10_000,
+            batch_size: 128,
+        }
     }
 
     /// The Section IV-B configuration on the re-configured cluster:
     /// 3 000 steps, batch 128.
     pub fn reconfigured(total_steps: u64) -> Self {
-        Self { total_steps, ..Self::paper_configuration() }
+        Self {
+            total_steps,
+            ..Self::paper_configuration()
+        }
     }
 
     /// The CIFAR-10-sized AlexNet layer graph.
@@ -84,7 +92,10 @@ impl AlexNet {
     }
 
     fn training(&self) -> TrainingConfig {
-        TrainingConfig { total_steps: self.total_steps, batch_size: self.batch_size }
+        TrainingConfig {
+            total_steps: self.total_steps,
+            batch_size: self.batch_size,
+        }
     }
 }
 
@@ -141,7 +152,11 @@ mod tests {
     fn network_has_five_convolutions_and_three_fc_layers() {
         let n = AlexNet::network();
         assert_eq!(n.num_convolutions(), 5);
-        let fc = n.layers.iter().filter(|l| l.motif == MotifKind::FullyConnected).count();
+        let fc = n
+            .layers
+            .iter()
+            .filter(|l| l.motif == MotifKind::FullyConnected)
+            .count();
         assert_eq!(fc, 3);
     }
 
@@ -149,7 +164,11 @@ mod tests {
     fn profile_is_floating_point_heavy() {
         let cluster = ClusterConfig::five_node_westmere();
         let p = AlexNet::paper_configuration().per_node_profile(&cluster);
-        assert!(p.instructions.mix().floating_point > 0.30, "fp {}", p.instructions.mix().floating_point);
+        assert!(
+            p.instructions.mix().floating_point > 0.30,
+            "fp {}",
+            p.instructions.mix().floating_point
+        );
     }
 
     #[test]

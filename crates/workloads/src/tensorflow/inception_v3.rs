@@ -16,7 +16,9 @@ use dmpb_motifs::{MotifClass, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 
 use crate::cluster::ClusterConfig;
-use crate::framework::tensorflow::{per_node_training_profile, LayerSpec, NetworkSpec, TrainingConfig};
+use crate::framework::tensorflow::{
+    per_node_training_profile, LayerSpec, NetworkSpec, TrainingConfig,
+};
 use crate::workload::{Workload, WorkloadKind};
 
 /// Number of ILSVRC2012 training images.
@@ -36,12 +38,18 @@ pub struct InceptionV3 {
 impl InceptionV3 {
     /// The Section III configuration: 1 000 steps, batch 32.
     pub fn paper_configuration() -> Self {
-        Self { total_steps: 1_000, batch_size: 32 }
+        Self {
+            total_steps: 1_000,
+            batch_size: 32,
+        }
     }
 
     /// The Section IV-B configuration: 200 steps, batch 32.
     pub fn reconfigured(total_steps: u64) -> Self {
-        Self { total_steps, ..Self::paper_configuration() }
+        Self {
+            total_steps,
+            ..Self::paper_configuration()
+        }
     }
 
     /// Appends the convolutions of one Inception-A-style module operating
@@ -138,7 +146,10 @@ impl InceptionV3 {
     }
 
     fn training(&self) -> TrainingConfig {
-        TrainingConfig { total_steps: self.total_steps, batch_size: self.batch_size }
+        TrainingConfig {
+            total_steps: self.total_steps,
+            batch_size: self.batch_size,
+        }
     }
 }
 
@@ -199,7 +210,11 @@ mod tests {
         let inception = InceptionV3::network();
         let alexnet = crate::tensorflow::AlexNet::network();
         assert!(inception.num_layers() > 3 * alexnet.num_layers());
-        assert!(inception.num_convolutions() > 40, "convs {}", inception.num_convolutions());
+        assert!(
+            inception.num_convolutions() > 40,
+            "convs {}",
+            inception.num_convolutions()
+        );
     }
 
     #[test]
@@ -208,13 +223,22 @@ mod tests {
         // the CIFAR-sized AlexNet, which is why the paper's Inception run
         // takes longer despite 10x fewer steps.
         let cluster = ClusterConfig::five_node_westmere();
-        let inception = InceptionV3 { total_steps: 100, batch_size: 32 }
-            .per_node_profile(&cluster)
-            .total_instructions();
-        let alexnet = crate::tensorflow::AlexNet { total_steps: 100, batch_size: 128 }
-            .per_node_profile(&cluster)
-            .total_instructions();
-        assert!(inception > 3 * alexnet, "inception {inception} alexnet {alexnet}");
+        let inception = InceptionV3 {
+            total_steps: 100,
+            batch_size: 32,
+        }
+        .per_node_profile(&cluster)
+        .total_instructions();
+        let alexnet = crate::tensorflow::AlexNet {
+            total_steps: 100,
+            batch_size: 128,
+        }
+        .per_node_profile(&cluster)
+        .total_instructions();
+        assert!(
+            inception > 3 * alexnet,
+            "inception {inception} alexnet {alexnet}"
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The [`Workload`] trait and the registry of the five paper workloads.
+//! The [`Workload`] trait and the registry of the eight modelled workloads
+//! (the paper's five plus the three Spark variants).
 
 use dmpb_datagen::DataDescriptor;
 use dmpb_metrics::MetricVector;
@@ -8,9 +9,43 @@ use dmpb_perfmodel::ExecutionEngine;
 
 use crate::cluster::ClusterConfig;
 use crate::hadoop::{KMeans, PageRank, TeraSort};
+use crate::spark::{SparkKMeans, SparkPageRank, SparkTeraSort};
 use crate::tensorflow::{AlexNet, InceptionV3};
 
-/// Identity of one of the five evaluated workloads.
+/// The software stack a workload runs on.
+///
+/// The companion data-motif characterisation paper profiles every big-data
+/// motif on both Hadoop and Spark and shows the software stack dominates
+/// microarchitectural behaviour — so the stack is a first-class axis of the
+/// workload registry, not an implementation detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Framework {
+    /// Hadoop MapReduce on the JVM (HDFS spill/merge on every hop).
+    Hadoop,
+    /// Spark on the JVM (RDD lineage, in-memory caching, wide-only shuffle).
+    Spark,
+    /// TensorFlow's dataflow runtime with a parameter-server step loop.
+    TensorFlow,
+}
+
+impl Framework {
+    /// Reporting name of the stack.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Framework::Hadoop => "Hadoop",
+            Framework::Spark => "Spark",
+            Framework::TensorFlow => "TensorFlow",
+        }
+    }
+}
+
+impl std::fmt::Display for Framework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identity of one of the eight modelled workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WorkloadKind {
     /// Hadoop TeraSort.
@@ -23,11 +58,31 @@ pub enum WorkloadKind {
     AlexNet,
     /// TensorFlow Inception-V3.
     InceptionV3,
+    /// Spark TeraSort.
+    SparkTeraSort,
+    /// Spark K-means.
+    SparkKMeans,
+    /// Spark PageRank.
+    SparkPageRank,
 }
 
 impl WorkloadKind {
-    /// The five workloads in the order the paper's tables list them.
-    pub const ALL: [WorkloadKind; 5] = [
+    /// The eight workloads in suite order: the paper's five (in the order
+    /// its tables list them) followed by the three Spark variants.
+    pub const ALL: [WorkloadKind; 8] = [
+        WorkloadKind::TeraSort,
+        WorkloadKind::KMeans,
+        WorkloadKind::PageRank,
+        WorkloadKind::AlexNet,
+        WorkloadKind::InceptionV3,
+        WorkloadKind::SparkTeraSort,
+        WorkloadKind::SparkKMeans,
+        WorkloadKind::SparkPageRank,
+    ];
+
+    /// The five workloads of the paper's own evaluation (Tables VI/VII,
+    /// Figs. 4/9/10 report numbers for exactly these).
+    pub const PAPER_FIVE: [WorkloadKind; 5] = [
         WorkloadKind::TeraSort,
         WorkloadKind::KMeans,
         WorkloadKind::PageRank,
@@ -43,6 +98,9 @@ impl WorkloadKind {
             WorkloadKind::PageRank => "Hadoop PageRank",
             WorkloadKind::AlexNet => "TensorFlow AlexNet",
             WorkloadKind::InceptionV3 => "TensorFlow Inception-V3",
+            WorkloadKind::SparkTeraSort => "Spark TeraSort",
+            WorkloadKind::SparkKMeans => "Spark K-means",
+            WorkloadKind::SparkPageRank => "Spark PageRank",
         }
     }
 
@@ -54,6 +112,9 @@ impl WorkloadKind {
             WorkloadKind::PageRank => "Proxy PageRank",
             WorkloadKind::AlexNet => "Proxy AlexNet",
             WorkloadKind::InceptionV3 => "Proxy Inception-V3",
+            WorkloadKind::SparkTeraSort => "Proxy Spark TeraSort",
+            WorkloadKind::SparkKMeans => "Proxy Spark K-means",
+            WorkloadKind::SparkPageRank => "Proxy Spark PageRank",
         }
     }
 
@@ -65,12 +126,43 @@ impl WorkloadKind {
             WorkloadKind::PageRank => "PageRank",
             WorkloadKind::AlexNet => "AlexNet",
             WorkloadKind::InceptionV3 => "Inception-V3",
+            WorkloadKind::SparkTeraSort => "Spark-TeraSort",
+            WorkloadKind::SparkKMeans => "Spark-K-means",
+            WorkloadKind::SparkPageRank => "Spark-PageRank",
+        }
+    }
+
+    /// The software stack the original workload runs on.
+    pub fn framework(&self) -> Framework {
+        match self {
+            WorkloadKind::TeraSort | WorkloadKind::KMeans | WorkloadKind::PageRank => {
+                Framework::Hadoop
+            }
+            WorkloadKind::AlexNet | WorkloadKind::InceptionV3 => Framework::TensorFlow,
+            WorkloadKind::SparkTeraSort
+            | WorkloadKind::SparkKMeans
+            | WorkloadKind::SparkPageRank => Framework::Spark,
         }
     }
 
     /// Returns true for the TensorFlow (AI) workloads.
     pub fn is_ai(&self) -> bool {
-        matches!(self, WorkloadKind::AlexNet | WorkloadKind::InceptionV3)
+        self.framework() == Framework::TensorFlow
+    }
+
+    /// The same motif DAG on the other big-data stack: Hadoop TeraSort ↔
+    /// Spark TeraSort and so on.  `None` for the AI workloads, which have
+    /// no Hadoop/Spark twin.
+    pub fn stack_twin(&self) -> Option<WorkloadKind> {
+        match self {
+            WorkloadKind::TeraSort => Some(WorkloadKind::SparkTeraSort),
+            WorkloadKind::KMeans => Some(WorkloadKind::SparkKMeans),
+            WorkloadKind::PageRank => Some(WorkloadKind::SparkPageRank),
+            WorkloadKind::SparkTeraSort => Some(WorkloadKind::TeraSort),
+            WorkloadKind::SparkKMeans => Some(WorkloadKind::KMeans),
+            WorkloadKind::SparkPageRank => Some(WorkloadKind::PageRank),
+            WorkloadKind::AlexNet | WorkloadKind::InceptionV3 => None,
+        }
     }
 }
 
@@ -86,7 +178,7 @@ impl std::fmt::Display for WorkloadKind {
 /// into a per-node [`OpProfile`]; [`Workload::measure`] runs that profile
 /// through the shared performance-model instrument for a given cluster.
 pub trait Workload: std::fmt::Debug + Send + Sync {
-    /// Which of the five paper workloads this is.
+    /// Which of the eight modelled workloads this is.
     fn kind(&self) -> WorkloadKind;
 
     /// The workload pattern as characterised in Table III
@@ -125,22 +217,22 @@ pub trait Workload: std::fmt::Debug + Send + Sync {
     /// one node is representative).
     fn measure(&self, cluster: &ClusterConfig) -> MetricVector {
         let engine = ExecutionEngine::new(cluster.node.arch);
-        engine.run(&self.per_node_profile(cluster), self.tasks_per_node(cluster))
+        engine.run(
+            &self.per_node_profile(cluster),
+            self.tasks_per_node(cluster),
+        )
     }
 }
 
-/// The five workloads with their Section III configurations.
+/// The eight workloads with their Section III-style configurations.
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(TeraSort::paper_configuration()),
-        Box::new(KMeans::paper_configuration()),
-        Box::new(PageRank::paper_configuration()),
-        Box::new(AlexNet::paper_configuration()),
-        Box::new(InceptionV3::paper_configuration()),
-    ]
+    WorkloadKind::ALL
+        .iter()
+        .map(|&kind| workload_by_kind(kind))
+        .collect()
 }
 
-/// Looks up a workload's Section III configuration by kind.
+/// Looks up a workload's Section III-style configuration by kind.
 pub fn workload_by_kind(kind: WorkloadKind) -> Box<dyn Workload> {
     match kind {
         WorkloadKind::TeraSort => Box::new(TeraSort::paper_configuration()),
@@ -148,6 +240,9 @@ pub fn workload_by_kind(kind: WorkloadKind) -> Box<dyn Workload> {
         WorkloadKind::PageRank => Box::new(PageRank::paper_configuration()),
         WorkloadKind::AlexNet => Box::new(AlexNet::paper_configuration()),
         WorkloadKind::InceptionV3 => Box::new(InceptionV3::paper_configuration()),
+        WorkloadKind::SparkTeraSort => Box::new(SparkTeraSort::reference_configuration()),
+        WorkloadKind::SparkKMeans => Box::new(SparkKMeans::reference_configuration()),
+        WorkloadKind::SparkPageRank => Box::new(SparkPageRank::reference_configuration()),
     }
 }
 
@@ -156,9 +251,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_contains_all_five_workloads() {
+    fn registry_contains_all_eight_workloads() {
         let workloads = all_workloads();
-        assert_eq!(workloads.len(), 5);
+        assert_eq!(workloads.len(), 8);
         let kinds: Vec<WorkloadKind> = workloads.iter().map(|w| w.kind()).collect();
         assert_eq!(kinds, WorkloadKind::ALL.to_vec());
     }
@@ -169,13 +264,17 @@ mod tests {
             let comp = w.motif_composition();
             assert!(!comp.is_empty(), "{} has no composition", w.name());
             let total: f64 = comp.iter().map(|(_, weight)| weight).sum();
-            assert!((total - 1.0).abs() < 1e-6, "{} weights sum to {total}", w.name());
+            assert!(
+                (total - 1.0).abs() < 1e-6,
+                "{} weights sum to {total}",
+                w.name()
+            );
             assert!(!w.involved_motifs().is_empty());
         }
     }
 
     #[test]
-    fn ai_workloads_use_ai_motifs_and_hadoop_ones_do_not() {
+    fn ai_workloads_use_ai_motifs_and_big_data_ones_do_not() {
         for w in all_workloads() {
             let any_ai = w.involved_motifs().iter().any(|m| m.is_ai());
             assert_eq!(any_ai, w.kind().is_ai(), "{}", w.name());
@@ -186,9 +285,49 @@ mod tests {
     fn workload_names_are_consistent() {
         assert_eq!(WorkloadKind::TeraSort.real_name(), "Hadoop TeraSort");
         assert_eq!(WorkloadKind::TeraSort.proxy_name(), "Proxy TeraSort");
+        assert_eq!(WorkloadKind::SparkTeraSort.real_name(), "Spark TeraSort");
+        assert_eq!(
+            WorkloadKind::SparkKMeans.proxy_name(),
+            "Proxy Spark K-means"
+        );
         assert_eq!(WorkloadKind::InceptionV3.to_string(), "Inception-V3");
         assert!(WorkloadKind::AlexNet.is_ai());
         assert!(!WorkloadKind::PageRank.is_ai());
+        assert!(!WorkloadKind::SparkPageRank.is_ai());
+    }
+
+    #[test]
+    fn frameworks_partition_the_registry() {
+        assert_eq!(WorkloadKind::TeraSort.framework(), Framework::Hadoop);
+        assert_eq!(WorkloadKind::SparkTeraSort.framework(), Framework::Spark);
+        assert_eq!(WorkloadKind::AlexNet.framework(), Framework::TensorFlow);
+        let spark_count = WorkloadKind::ALL
+            .iter()
+            .filter(|k| k.framework() == Framework::Spark)
+            .count();
+        assert_eq!(spark_count, 3);
+        assert_eq!(Framework::Spark.to_string(), "Spark");
+    }
+
+    #[test]
+    fn stack_twins_are_symmetric_and_share_motifs() {
+        for kind in WorkloadKind::ALL {
+            match kind.stack_twin() {
+                None => assert!(kind.is_ai()),
+                Some(twin) => {
+                    assert_eq!(twin.stack_twin(), Some(kind));
+                    assert_ne!(twin.framework(), kind.framework());
+                    let ours = workload_by_kind(kind).involved_motifs();
+                    let theirs = workload_by_kind(twin).involved_motifs();
+                    assert_eq!(ours, theirs, "{kind} vs {twin} motif DAGs differ");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_five_is_a_prefix_of_all() {
+        assert_eq!(&WorkloadKind::ALL[..5], &WorkloadKind::PAPER_FIVE[..]);
     }
 
     #[test]
@@ -204,7 +343,12 @@ mod tests {
         for w in all_workloads() {
             let m = w.measure(&cluster);
             assert!(m.is_finite(), "{} produced non-finite metrics", w.name());
-            assert!(m.runtime_secs > 1.0, "{} runtime {}", w.name(), m.runtime_secs);
+            assert!(
+                m.runtime_secs > 1.0,
+                "{} runtime {}",
+                w.name(),
+                m.runtime_secs
+            );
         }
     }
 }

@@ -11,13 +11,22 @@ fn main() {
     let westmere = ClusterConfig::three_node_westmere_64gb();
     let haswell = ClusterConfig::three_node_haswell();
 
-    println!("{:<14} {:>18} {:>18}", "workload", "real speedup", "proxy speedup");
+    println!(
+        "{:<14} {:>18} {:>18}",
+        "workload", "real speedup", "proxy speedup"
+    );
     for report in suite.reports() {
         let workload = workload_by_kind(report.kind);
-        let real = workload.measure(&westmere).runtime_secs / workload.measure(&haswell).runtime_secs;
+        let real =
+            workload.measure(&westmere).runtime_secs / workload.measure(&haswell).runtime_secs;
         let proxy = report.proxy.measure(&westmere.node.arch).runtime_secs
             / report.proxy.measure(&haswell.node.arch).runtime_secs;
-        println!("{:<14} {:>17.2}x {:>17.2}x", report.kind.to_string(), real, proxy);
+        println!(
+            "{:<14} {:>17.2}x {:>17.2}x",
+            report.kind.to_string(),
+            real,
+            proxy
+        );
     }
     println!("\nA consistent trend (proxy speedups tracking real speedups) means the proxies can be used for early-stage architecture comparisons.");
 }

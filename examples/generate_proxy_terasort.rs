@@ -16,7 +16,12 @@ fn main() {
     println!("== {} ==", report.proxy.name());
     println!("decomposition:");
     for c in &report.decomposition.components {
-        println!("  {:<22} class={:<10} weight={:.2}", c.motif.name(), c.class.name(), c.weight);
+        println!(
+            "  {:<22} class={:<10} weight={:.2}",
+            c.motif.name(),
+            c.class.name(),
+            c.weight
+        );
     }
     println!("\nproxy DAG:\n{}", report.proxy.dag().describe());
     println!("tuned parameters: {:?}", report.proxy.parameters());
@@ -30,11 +35,20 @@ fn main() {
             report.accuracy.get(id).unwrap_or(1.0) * 100.0
         );
     }
-    println!("\naverage accuracy = {:.1}%", report.accuracy.average() * 100.0);
-    println!("runtime speedup  = {:.0}x ({:.0}s -> {:.2}s)", report.speedup, report.real_metrics.runtime_secs, report.proxy_metrics.runtime_secs);
+    println!(
+        "\naverage accuracy = {:.1}%",
+        report.accuracy.average() * 100.0
+    );
+    println!(
+        "runtime speedup  = {:.0}x ({:.0}s -> {:.2}s)",
+        report.speedup, report.real_metrics.runtime_secs, report.proxy_metrics.runtime_secs
+    );
     println!("qualified within 15% on every metric: {}", report.qualified);
 
     // The proxy is also a real program: run its kernels on sample data.
     let summary = report.proxy.execute_sample(10_000, 7);
-    println!("\nexecuted {} motif kernels for real, checksum {:#x}", summary.kernels_run, summary.checksum);
+    println!(
+        "\nexecuted {} motif kernels for real, checksum {:#x}",
+        summary.kernels_run, summary.checksum
+    );
 }

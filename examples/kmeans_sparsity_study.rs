@@ -17,18 +17,39 @@ fn main() {
     let sparse = KMeans::paper_configuration().measure(&cluster);
     let dense = KMeans::dense_configuration().measure(&cluster);
     println!("Hadoop K-means, sparse vs dense input:");
-    println!("  memory bandwidth  {:.0} vs {:.0} MB/s", sparse.mem_total_bw_mbps(), dense.mem_total_bw_mbps());
-    println!("  runtime           {:.0} vs {:.0} s", sparse.runtime_secs, dense.runtime_secs);
-    println!("  fp instruction %  {:.1} vs {:.1}", sparse.instruction_mix.floating_point * 100.0, dense.instruction_mix.floating_point * 100.0);
+    println!(
+        "  memory bandwidth  {:.0} vs {:.0} MB/s",
+        sparse.mem_total_bw_mbps(),
+        dense.mem_total_bw_mbps()
+    );
+    println!(
+        "  runtime           {:.0} vs {:.0} s",
+        sparse.runtime_secs, dense.runtime_secs
+    );
+    println!(
+        "  fp instruction %  {:.1} vs {:.1}",
+        sparse.instruction_mix.floating_point * 100.0,
+        dense.instruction_mix.floating_point * 100.0
+    );
 
     // Fig. 8: one proxy, two inputs.
     let report = ProxyGenerator::new(cluster).generate(&KMeans::paper_configuration());
     let dense_proxy = report
         .proxy
-        .with_input(KMeans::dense_configuration().input_descriptor().scaled_to(report.proxy.parameters().data_size_bytes))
+        .with_input(
+            KMeans::dense_configuration()
+                .input_descriptor()
+                .scaled_to(report.proxy.parameters().data_size_bytes),
+        )
         .measure(&cluster.node.arch);
     let dense_accuracy = AccuracyReport::compare(&dense, &dense_proxy, &MetricId::TUNABLE);
     println!("\nProxy K-means accuracy:");
-    println!("  against the sparse real run: {:.1}%", report.accuracy.average() * 100.0);
-    println!("  against the dense real run:  {:.1}%", dense_accuracy.average() * 100.0);
+    println!(
+        "  against the sparse real run: {:.1}%",
+        report.accuracy.average() * 100.0
+    );
+    println!(
+        "  against the dense real run:  {:.1}%",
+        dense_accuracy.average() * 100.0
+    );
 }

@@ -12,7 +12,11 @@ fn main() {
     // 1. Generate gensort-style records and really sort them.
     let records = TextGenerator::new(42).generate(100_000);
     let sorted = sort::parallel_sort(&records.keys(), 8);
-    println!("sorted {} records; first key = {:?}", sorted.len(), &sorted[0]);
+    println!(
+        "sorted {} records; first key = {:?}",
+        sorted.len(),
+        &sorted[0]
+    );
 
     // 2. Model the same motif at TeraSort scale (100 GB) under the shared
     //    performance-model instrument.

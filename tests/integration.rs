@@ -50,11 +50,18 @@ fn generated_proxy_keeps_the_input_data_type_and_sparsity() {
 fn end_to_end_generation_for_pagerank_is_accurate_and_fast() {
     let generator = ProxyGenerator::new(ClusterConfig::five_node_westmere());
     let report = generator.generate_kind(WorkloadKind::PageRank);
-    assert!(report.accuracy.average() > 0.6, "accuracy {}", report.accuracy.average());
+    assert!(
+        report.accuracy.average() > 0.6,
+        "accuracy {}",
+        report.accuracy.average()
+    );
     assert!(report.speedup > 10.0, "speedup {}", report.speedup);
     assert!(report.iterations <= 30);
     // The decomposition's classes all appear in the proxy DAG.
-    assert_eq!(report.proxy.dag().num_edges(), report.decomposition.components.len());
+    assert_eq!(
+        report.proxy.dag().num_edges(),
+        report.decomposition.components.len()
+    );
 }
 
 #[test]
@@ -99,5 +106,9 @@ fn one_proxy_tracks_different_input_sparsity() {
         &dense_proxy.measure(&cluster.node.arch),
         &MetricId::TUNABLE,
     );
-    assert!(accuracy.average() > 0.4, "dense accuracy {}", accuracy.average());
+    assert!(
+        accuracy.average() > 0.4,
+        "dense accuracy {}",
+        accuracy.average()
+    );
 }

@@ -5,7 +5,25 @@ use data_motif_proxy::datagen::text::TextGenerator;
 use data_motif_proxy::metrics::accuracy;
 use data_motif_proxy::motifs::bigdata::{set_ops, sort, transform};
 use data_motif_proxy::perfmodel::cache::{Cache, CacheConfig};
+use data_motif_proxy::workloads::framework::spark::AppShape;
+use data_motif_proxy::workloads::spark::{SparkKMeans, SparkPageRank, SparkTeraSort};
+use data_motif_proxy::workloads::workload::Workload;
+use data_motif_proxy::workloads::ClusterConfig;
 use proptest::prelude::*;
+
+/// An arbitrary-but-valid Spark application shape for property tests.
+fn app_shape(iterations: u32, cached_fraction: f64, wide_shuffle_ratio: f64) -> AppShape {
+    AppShape {
+        input_bytes: 10 << 30,
+        iterations,
+        cached_fraction,
+        wide_shuffle_ratio,
+        output_ratio: 0.1,
+        output_replication: 2,
+        heap_bytes: 8 << 30,
+        pipeline_factor: 0.5,
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -72,6 +90,58 @@ proptest! {
         let low = accuracy(real, real * (1.0 - error));
         prop_assert!((0.0..=1.0).contains(&high));
         prop_assert!((high - low).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caching_never_increases_spark_disk_reads(iterations in 1u32..10,
+                                                cached in 0.0f64..1.0,
+                                                shuffle in 0.0f64..1.0) {
+        let cluster = ClusterConfig::five_node_westmere();
+        let colder = app_shape(iterations, (cached - 0.25).max(0.0), shuffle);
+        let warmer = app_shape(iterations, cached, shuffle);
+        let (cold_read, _) = colder.disk_traffic_per_node(&cluster);
+        let (warm_read, _) = warmer.disk_traffic_per_node(&cluster);
+        prop_assert!(warm_read <= cold_read, "warm {warm_read} cold {cold_read}");
+        // A fully cached RDD costs the one-time input scan plus shuffle
+        // fetches, never per-iteration input re-reads.
+        let fully_cached = app_shape(iterations, 1.0, shuffle);
+        let (read, _) = fully_cached.disk_traffic_per_node(&cluster);
+        let input = fully_cached.input_bytes_per_node(&cluster) as f64;
+        let shuffle_fetch = fully_cached.shuffle_bytes_per_node(&cluster) as f64
+            * f64::from(iterations) * 0.5;
+        prop_assert!((read as f64) <= input + shuffle_fetch + 1.0);
+    }
+
+    #[test]
+    fn spark_serde_grows_with_wide_shuffles(iterations in 1u32..10, shuffle in 0.0f64..0.99) {
+        let cluster = ClusterConfig::five_node_westmere();
+        let narrow = app_shape(iterations, 1.0, shuffle);
+        let wider = app_shape(iterations, 1.0, shuffle + 0.01);
+        prop_assert!(
+            wider.serde_bytes_per_node(&cluster) >= narrow.serde_bytes_per_node(&cluster)
+        );
+    }
+
+    #[test]
+    fn spark_workload_profiles_are_finite_and_scale_sanely(
+        gb in 1u64..32,
+        iterations in 1u32..8,
+        log_vertices in 16u32..24,
+    ) {
+        let cluster = ClusterConfig::five_node_westmere();
+        let workloads: [Box<dyn Workload>; 3] = [
+            Box::new(SparkTeraSort::scaled(gb << 30)),
+            Box::new(SparkKMeans::scaled(gb << 30, 0.9, iterations)),
+            Box::new(SparkPageRank::scaled(1 << log_vertices, iterations)),
+        ];
+        for w in &workloads {
+            let p = w.per_node_profile(&cluster);
+            prop_assert!(p.total_instructions() > 0, "{}", w.name());
+            prop_assert!(p.disk_read_bytes > 0, "{}", w.name());
+            let m = w.measure(&cluster);
+            prop_assert!(m.is_finite(), "{}", w.name());
+            prop_assert!(m.runtime_secs > 0.0, "{}", w.name());
+        }
     }
 
     #[test]
