@@ -2,6 +2,7 @@
 //! sample kernels and measurement under the performance model.
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmpb_core::decompose::decompose;
+use dmpb_core::executor::DagExecutor;
 use dmpb_core::features::initial_parameters;
 use dmpb_core::runner::SuiteRunner;
 use dmpb_core::ProxyBenchmark;
@@ -32,6 +33,45 @@ fn bench_proxies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Linear-chain vs branching-DAG execution of one Spark proxy: the same
+/// motif kernels and weights, scheduled as a straight pipeline vs the
+/// declared wide-dependency fork/join DAG, serial vs stage-parallel — so
+/// the parallel-branch win (or regression) is visible in the suite output.
+fn bench_dag_executor(c: &mut Criterion) {
+    let cluster = ClusterConfig::five_node_westmere();
+    let workload = workload_by_kind(WorkloadKind::SparkTeraSort);
+    let proxy = ProxyBenchmark::from_decomposition(
+        &decompose(workload.as_ref()),
+        initial_parameters(workload.as_ref(), &cluster),
+    );
+    let chain = proxy.chain_dag();
+    let branching = proxy.dag();
+    assert!(branching.is_branching() && !chain.is_branching());
+
+    let serial = DagExecutor::new();
+    let parallel = DagExecutor::new().with_max_parallel(4);
+    // The digest must not depend on the schedule; only wall-clock may.
+    assert_eq!(
+        serial.execute(&branching, 20_000, 1).checksum,
+        parallel.execute(&branching, 20_000, 1).checksum
+    );
+
+    let mut group = c.benchmark_group("dag_executor/spark_terasort");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("linear_chain/serial", |b| {
+        b.iter(|| black_box(serial.execute(&chain, 20_000, 1).checksum))
+    });
+    group.bench_function("branching_dag/serial", |b| {
+        b.iter(|| black_box(serial.execute(&branching, 20_000, 1).checksum))
+    });
+    group.bench_function("branching_dag/parallel4", |b| {
+        b.iter(|| black_box(parallel.execute(&branching, 20_000, 1).checksum))
+    });
+    group.finish();
+}
+
 fn bench_suite_runner(c: &mut Criterion) {
     let mut group = c.benchmark_group("suite_runner");
     group.sample_size(3);
@@ -51,5 +91,10 @@ fn bench_suite_runner(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_proxies, bench_suite_runner);
+criterion_group!(
+    benches,
+    bench_proxies,
+    bench_dag_executor,
+    bench_suite_runner
+);
 criterion_main!(benches);

@@ -14,6 +14,7 @@ fn main() {
             "data",
             "class (weight)",
             "motif implementations",
+            "DAG shape",
         ],
     );
     for w in all_workloads() {
@@ -36,6 +37,7 @@ fn main() {
             w.input_descriptor().class.name().to_string(),
             classes,
             motifs,
+            d.plan.shape_summary(),
         ]);
     }
     println!("{}", t.render());

@@ -1,8 +1,16 @@
-//! The DAG-like structure of a proxy benchmark.
+//! The DAG structure of a proxy benchmark.
 //!
 //! The paper represents a proxy benchmark as a directed acyclic graph whose
 //! nodes are original or intermediate data sets and whose edges are data
 //! motifs transforming one data set into the next, each with a weight.
+//!
+//! The graph accepts **arbitrary acyclic topologies** — forks (one data
+//! set feeding several motifs), joins (several motifs producing one data
+//! set) and diamonds — not just forward chains.  Acyclicity is enforced at
+//! [`ProxyDag::add_edge`] time by a reachability check, and scheduling
+//! questions (topological order, parallel stages) are answered by Kahn's
+//! algorithm with a deterministic smallest-id tie-break, so every derived
+//! order is stable run to run.
 
 use dmpb_datagen::DataDescriptor;
 use dmpb_motifs::MotifKind;
@@ -33,11 +41,27 @@ pub struct MotifEdge {
     pub weight: f64,
 }
 
-/// A DAG-like combination of data motifs.
+/// A DAG of data motifs over named data nodes.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProxyDag {
     nodes: Vec<DataNode>,
     edges: Vec<MotifEdge>,
+}
+
+/// A computed execution schedule: the edges in deterministic topological
+/// order *and* the stage partition over those same indices, derived
+/// together by [`ProxyDag::schedule`] so the two views can never drift
+/// apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagSchedule {
+    /// Edges in deterministic topological order.
+    pub edges: Vec<MotifEdge>,
+    /// `stages[k]` holds the indices into [`DagSchedule::edges`] of the
+    /// edges whose source node sits at depth `k`.  All edges of one stage
+    /// are mutually independent (their inputs were fully produced by
+    /// earlier stages), so they may execute concurrently; stages execute
+    /// in order.
+    pub stages: Vec<Vec<usize>>,
 }
 
 impl ProxyDag {
@@ -55,23 +79,35 @@ impl ProxyDag {
         self.nodes.len() - 1
     }
 
-    /// Adds a motif edge.
+    /// Adds a motif edge.  Any forward-reachable topology is accepted —
+    /// edges may fork, join, and point "backwards" in node-id order, as
+    /// long as the graph stays acyclic.
     ///
     /// # Panics
     ///
-    /// Panics if an endpoint does not exist, if the edge does not point
-    /// forward (which would create a cycle), or if the weight is not a
-    /// positive finite number.
+    /// Panics if an endpoint does not exist, if the edge would close a
+    /// cycle (including self-loops), or if the weight is not a positive
+    /// finite number.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, motif: MotifKind, weight: f64) {
         assert!(from < self.nodes.len(), "unknown source node {from}");
         assert!(to < self.nodes.len(), "unknown target node {to}");
         assert!(
-            from < to,
-            "edges must point forward to keep the graph acyclic"
-        );
-        assert!(
             weight.is_finite() && weight > 0.0,
             "weight must be positive"
+        );
+        assert!(
+            from != to,
+            "edge {} --[{motif}]--> {} is a self-loop, which would create a cycle",
+            self.nodes[from].label,
+            self.nodes[to].label
+        );
+        assert!(
+            !self.is_reachable(to, from),
+            "edge {} --[{motif}]--> {} would create a cycle: {} is already reachable from {}",
+            self.nodes[from].label,
+            self.nodes[to].label,
+            self.nodes[from].label,
+            self.nodes[to].label
         );
         self.edges.push(MotifEdge {
             from,
@@ -79,6 +115,22 @@ impl ProxyDag {
             motif,
             weight,
         });
+    }
+
+    /// Whether `target` can be reached from `start` along existing edges.
+    fn is_reachable(&self, start: NodeId, target: NodeId) -> bool {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        while let Some(node) = stack.pop() {
+            if node == target {
+                return true;
+            }
+            if std::mem::replace(&mut visited[node], true) {
+                continue;
+            }
+            stack.extend(self.edges.iter().filter(|e| e.from == node).map(|e| e.to));
+        }
+        false
     }
 
     /// The data nodes.
@@ -111,12 +163,89 @@ impl ProxyDag {
             .collect()
     }
 
-    /// Edges in topological (execution) order.  Because edges always point
-    /// forward, sorting by source node id is a valid topological order.
+    /// Node ids in topological order ([`dmpb_motifs::topology`]'s shared
+    /// Kahn implementation; among ready nodes the smallest id is taken
+    /// first, so the order is deterministic).
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let pairs: Vec<(usize, usize)> = self.edges.iter().map(|e| (e.from, e.to)).collect();
+        let order = dmpb_motifs::topology::topological_order(self.nodes.len(), &pairs);
+        assert!(
+            order.len() == self.nodes.len(),
+            "proxy DAG contains a cycle"
+        );
+        order
+    }
+
+    /// Edges in a deterministic topological (execution) order: sorted by
+    /// the topological position of their source, then of their target,
+    /// then insertion order.  (The topologically indexed view of
+    /// [`ProxyDag::schedule`].)
     pub fn topological_edges(&self) -> Vec<MotifEdge> {
-        let mut edges = self.edges.clone();
-        edges.sort_by_key(|e| (e.from, e.to));
-        edges
+        self.schedule().edges
+    }
+
+    /// Depth of every node: 0 for sources, otherwise one more than the
+    /// deepest predecessor.  Edges scheduled at the depth of their source
+    /// form the executor's parallel stages.
+    pub fn node_depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for &node in &self.topological_order() {
+            for edge in self.edges.iter().filter(|e| e.to == node) {
+                depth[node] = depth[node].max(depth[edge.from] + 1);
+            }
+        }
+        depth
+    }
+
+    /// Computes the execution schedule: the topologically ordered edges
+    /// and the stage partition over those indices, in one derivation (see
+    /// [`DagSchedule`]).
+    pub fn schedule(&self) -> DagSchedule {
+        let order = self.topological_order();
+        let mut position = vec![0usize; self.nodes.len()];
+        for (pos, &node) in order.iter().enumerate() {
+            position[node] = pos;
+        }
+        let mut indexed: Vec<(usize, &MotifEdge)> = self.edges.iter().enumerate().collect();
+        indexed.sort_by_key(|(i, e)| (position[e.from], position[e.to], *i));
+        let edges: Vec<MotifEdge> = indexed.into_iter().map(|(_, e)| *e).collect();
+
+        let depth = self.node_depths();
+        let num_stages = edges.iter().map(|e| depth[e.from] + 1).max().unwrap_or(0);
+        let mut stages = vec![Vec::new(); num_stages];
+        for (index, edge) in edges.iter().enumerate() {
+            stages[depth[edge.from]].push(index);
+        }
+        DagSchedule { edges, stages }
+    }
+
+    /// The stage partition of [`ProxyDag::schedule`].
+    pub fn stages(&self) -> Vec<Vec<usize>> {
+        self.schedule().stages
+    }
+
+    /// Largest number of edges leaving one node (≥ 2 means a fork).
+    pub fn max_out_degree(&self) -> usize {
+        self.degree(|e| e.from)
+    }
+
+    /// Largest number of edges entering one node (≥ 2 means a join).
+    pub fn max_in_degree(&self) -> usize {
+        self.degree(|e| e.to)
+    }
+
+    fn degree(&self, end: impl Fn(&MotifEdge) -> NodeId) -> usize {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for edge in &self.edges {
+            counts[end(edge)] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+
+    /// Whether the DAG genuinely forks or joins anywhere (false for a
+    /// straight chain).
+    pub fn is_branching(&self) -> bool {
+        self.max_out_degree() >= 2 || self.max_in_degree() >= 2
     }
 
     /// Renders the DAG as a small text description for reports.
@@ -152,6 +281,20 @@ mod tests {
         dag
     }
 
+    /// input forks to left/right which join at out: the canonical diamond.
+    fn diamond_dag() -> ProxyDag {
+        let mut dag = ProxyDag::new();
+        let input = dag.add_node("input", descriptor());
+        let left = dag.add_node("left", descriptor());
+        let right = dag.add_node("right", descriptor());
+        let out = dag.add_node("out", descriptor());
+        dag.add_edge(input, left, MotifKind::QuickSort, 0.4);
+        dag.add_edge(input, right, MotifKind::RandomSampling, 0.1);
+        dag.add_edge(left, out, MotifKind::MergeSort, 0.3);
+        dag.add_edge(right, out, MotifKind::GraphConstruct, 0.2);
+        dag
+    }
+
     #[test]
     fn dag_construction_and_accessors() {
         let dag = sample_dag();
@@ -172,13 +315,65 @@ mod tests {
         let dag = sample_dag();
         let edges = dag.topological_edges();
         assert!(edges.windows(2).all(|w| w[0].from <= w[1].from));
+        assert_eq!(dag.topological_order(), vec![0, 1, 2]);
     }
 
     #[test]
-    #[should_panic(expected = "forward")]
-    fn backward_edges_are_rejected() {
+    fn diamond_topology_is_accepted_and_staged() {
+        let dag = diamond_dag();
+        assert!(dag.is_branching());
+        assert_eq!(dag.max_out_degree(), 2, "input forks");
+        assert_eq!(dag.max_in_degree(), 2, "out joins");
+        let stages = dag.stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].len(), 2, "both fork edges run in stage 0");
+        assert_eq!(stages[1].len(), 2, "both join edges run in stage 1");
+        assert_eq!(dag.node_depths(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn fan_out_topology_is_accepted() {
+        let mut dag = ProxyDag::new();
+        let input = dag.add_node("input", descriptor());
+        for i in 0..3 {
+            let sink = dag.add_node(format!("sink-{i}"), descriptor());
+            dag.add_edge(input, sink, MotifKind::ALL[i], 0.2);
+        }
+        assert_eq!(dag.max_out_degree(), 3);
+        assert_eq!(dag.stages(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn backward_pointing_edges_are_fine_when_acyclic() {
+        // Declare nodes "out of order": the edge points from a higher to a
+        // lower node id, which the old `from < to` shortcut rejected.
+        let mut dag = ProxyDag::new();
+        let out = dag.add_node("out", descriptor());
+        let input = dag.add_node("input", descriptor());
+        dag.add_edge(input, out, MotifKind::QuickSort, 1.0);
+        assert_eq!(dag.topological_order(), vec![1, 0]);
+        assert_eq!(dag.topological_edges().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_closing_edges_are_rejected() {
         let mut dag = sample_dag();
         dag.add_edge(2, 0, MotifKind::MergeSort, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn diamond_back_edge_is_rejected() {
+        let mut dag = diamond_dag();
+        dag.add_edge(3, 1, MotifKind::MinMax, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_are_rejected() {
+        let mut dag = sample_dag();
+        dag.add_edge(1, 1, MotifKind::MergeSort, 0.5);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! decomposition step turns it into concrete [`MotifComponent`]s.
 
 use dmpb_datagen::DataDescriptor;
-use dmpb_motifs::{MotifClass, MotifKind};
+use dmpb_motifs::{DagPlan, MotifClass, MotifKind};
 use dmpb_workloads::workload::{Workload, WorkloadKind};
 
 /// One selected motif implementation with its share of the proxy's work.
@@ -37,6 +37,10 @@ pub struct Decomposition {
     pub input: DataDescriptor,
     /// The class-level execution ratios the weights were derived from.
     pub class_ratios: Vec<(MotifClass, f64)>,
+    /// The fork/join topology the workload declares for its motifs
+    /// ([`Workload::dag_plan`]), validated to place exactly the selected
+    /// components; falls back to a straight chain otherwise.
+    pub plan: DagPlan,
 }
 
 impl Decomposition {
@@ -80,6 +84,18 @@ pub fn decompose(workload: &dyn Workload) -> Decomposition {
         }
     }
 
+    // Merge duplicate motif selections (e.g. one class listed twice in the
+    // composition) so every motif appears once with its summed weight —
+    // both the DAG plan and the proxy's weight lookup key by motif.
+    let mut merged: Vec<MotifComponent> = Vec::new();
+    for c in components {
+        match merged.iter_mut().find(|m| m.motif == c.motif) {
+            Some(m) => m.weight += c.weight,
+            None => merged.push(c),
+        }
+    }
+    let mut components = merged;
+
     // Normalise in case some composition classes had no selected motif.
     let total: f64 = components.iter().map(|c| c.weight).sum();
     if total > 0.0 {
@@ -88,18 +104,69 @@ pub fn decompose(workload: &dyn Workload) -> Decomposition {
         }
     }
 
+    // Adopt the workload's declared fork/join topology when it places
+    // exactly the selected components; otherwise fall back to a chain so a
+    // plan drifting out of sync with the decomposition degrades gracefully
+    // instead of dropping or double-counting motifs.
+    let motifs: Vec<MotifKind> = components.iter().map(|c| c.motif).collect();
+    let declared = workload.dag_plan();
+    let plan = if declared.covers_exactly(&motifs) {
+        declared
+    } else {
+        DagPlan::chain(&motifs)
+    };
+
     Decomposition {
         kind: workload.kind(),
         components,
         input: workload.input_descriptor(),
         class_ratios,
+        plan,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmpb_workloads::all_workloads;
+    use dmpb_datagen::{DataClass, Distribution};
+    use dmpb_perfmodel::profile::OpProfile;
+    use dmpb_workloads::{all_workloads, ClusterConfig};
+
+    /// A degenerate workload whose composition lists one class twice, so
+    /// its only motif would be selected twice without the merge step.
+    #[derive(Debug)]
+    struct DoubledSort;
+
+    impl Workload for DoubledSort {
+        fn kind(&self) -> WorkloadKind {
+            WorkloadKind::TeraSort
+        }
+        fn pattern(&self) -> &'static str {
+            "test double"
+        }
+        fn input_descriptor(&self) -> DataDescriptor {
+            DataDescriptor::new(DataClass::Text, 1 << 20, 100, 0.0, Distribution::Uniform)
+        }
+        fn motif_composition(&self) -> Vec<(MotifClass, f64)> {
+            vec![(MotifClass::Sort, 0.5), (MotifClass::Sort, 0.5)]
+        }
+        fn involved_motifs(&self) -> Vec<MotifKind> {
+            vec![MotifKind::QuickSort]
+        }
+        fn per_node_profile(&self, _cluster: &ClusterConfig) -> OpProfile {
+            OpProfile::new("test-double")
+        }
+    }
+
+    #[test]
+    fn duplicate_motif_selections_are_merged_not_duplicated() {
+        let d = decompose(&DoubledSort);
+        assert_eq!(d.components.len(), 1, "duplicates must merge");
+        assert!((d.total_weight() - 1.0).abs() < 1e-9);
+        // The chain fallback (and any declared plan) keys by motif, so the
+        // merged decomposition must still produce a valid plan.
+        assert!(d.plan.covers_exactly(&[MotifKind::QuickSort]));
+    }
 
     #[test]
     fn every_workload_decomposes_into_normalised_components() {

@@ -1,0 +1,266 @@
+//! Stage-parallel execution of a proxy DAG's real motif kernels.
+//!
+//! [`DagExecutor`] walks a [`ProxyDag`] stage by stage (see
+//! [`ProxyDag::stages`]): a stage holds all edges whose source data set is
+//! fully produced, so the edges of one stage are mutually independent and
+//! can run concurrently.  Independent branches — TensorFlow Inception's
+//! parallel towers, Spark wide-dependency fan-outs — therefore execute in
+//! parallel on scoped worker threads, bounded by
+//! [`DagExecutor::with_max_parallel`].
+//!
+//! # Determinism
+//!
+//! The executor's output is byte-identical across thread counts and
+//! scheduling orders:
+//!
+//! * every edge's kernel seed is **derived** from the execution seed and
+//!   the edge's *topological index* via [`derive_seed`] — never from the
+//!   thread that happens to run it;
+//! * kernel scratch buffers come from a shared, zero-filling
+//!   [`BufferPool`], so recycled storage cannot leak state into checksums;
+//! * per-edge checksums are folded in topological-index order after all
+//!   stages complete.
+//!
+//! This is what lets the suite runner expose intra-proxy parallelism as a
+//! pure performance axis: `with_max_parallel(1)` and `with_max_parallel(8)`
+//! produce the same digest.
+
+use std::sync::OnceLock;
+
+use dmpb_datagen::rng::derive_seed;
+use dmpb_motifs::{BufferPool, MotifKind, MotifRegistry};
+
+use crate::dag::ProxyDag;
+
+/// Result of one edge's kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRun {
+    /// The motif that ran.
+    pub motif: MotifKind,
+    /// Elements the kernel processed.
+    pub elements: usize,
+    /// Seed the kernel was driven by.
+    pub seed: u64,
+    /// The kernel's output checksum.
+    pub checksum: u64,
+}
+
+/// The structured result of executing one proxy DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagExecution {
+    /// Per-edge results in topological-index order.
+    pub edge_runs: Vec<EdgeRun>,
+    /// Number of stages the schedule had.
+    pub stages: usize,
+    /// Widest stage (edges that were eligible to run concurrently).
+    pub max_stage_width: usize,
+    /// Folded checksum over all edge checksums (topological order).
+    pub checksum: u64,
+}
+
+impl DagExecution {
+    /// Number of motif kernels executed.
+    pub fn kernels_run(&self) -> usize {
+        self.edge_runs.len()
+    }
+}
+
+/// Stage-parallel, deterministic executor for proxy DAGs (see the
+/// [module documentation](self)).
+#[derive(Debug)]
+pub struct DagExecutor {
+    max_parallel: usize,
+    pool: BufferPool,
+}
+
+impl Default for DagExecutor {
+    /// A serial executor (one branch at a time) — the right default when
+    /// an outer layer (e.g. the suite runner) already parallelises across
+    /// proxies.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DagExecutor {
+    /// A serial executor with a fresh buffer pool.
+    pub fn new() -> Self {
+        Self {
+            max_parallel: 1,
+            pool: BufferPool::new(),
+        }
+    }
+
+    /// Bounds the number of DAG branches executed concurrently within one
+    /// stage (clamped to `1..=64`).  `1` executes stages serially.
+    pub fn with_max_parallel(mut self, workers: usize) -> Self {
+        self.max_parallel = workers.clamp(1, 64);
+        self
+    }
+
+    /// The configured concurrency bound.
+    pub fn max_parallel(&self) -> usize {
+        self.max_parallel
+    }
+
+    /// The shared intermediate-buffer pool kernels lease scratch storage
+    /// from.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Executes every motif edge of `dag` on generated sample data.
+    ///
+    /// `elements` bounds the per-kernel input size (scaled by each edge's
+    /// weight, with a floor of 16); `seed` drives the per-edge derived
+    /// kernel seeds.  Deterministic in `(dag, elements, seed)` — see the
+    /// [module documentation](self).
+    pub fn execute(&self, dag: &ProxyDag, elements: usize, seed: u64) -> DagExecution {
+        // One schedule derivation: the stage indices and the edge vector
+        // come from the same `DagSchedule`, so they cannot drift apart.
+        let crate::dag::DagSchedule { edges, stages } = dag.schedule();
+        let registry = MotifRegistry::global();
+
+        // Pre-compute every edge's work item; indices are topological.
+        let work: Vec<(MotifKind, usize, u64)> = edges
+            .iter()
+            .enumerate()
+            .map(|(index, edge)| {
+                let n = ((elements as f64 * edge.weight).ceil() as usize).max(16);
+                (edge.motif, n, derive_seed(seed, index as u64))
+            })
+            .collect();
+
+        let mut checksums: Vec<OnceLock<u64>> = Vec::new();
+        checksums.resize_with(edges.len(), OnceLock::new);
+        let run_edge = |index: usize| {
+            let (motif, n, edge_seed) = work[index];
+            let checksum = registry.kernel(motif).execute(n, edge_seed, &self.pool);
+            checksums[index].set(checksum).expect("edge executed twice");
+        };
+
+        let max_stage_width = stages.iter().map(Vec::len).max().unwrap_or(0);
+        for stage in &stages {
+            let workers = self.max_parallel.min(stage.len());
+            if workers <= 1 {
+                stage.iter().for_each(|&index| run_edge(index));
+            } else {
+                // Independent branches of this stage on scoped threads.
+                let run_edge = &run_edge;
+                std::thread::scope(|scope| {
+                    for chunk in stage.chunks(stage.len().div_ceil(workers)) {
+                        scope.spawn(move || chunk.iter().for_each(|&index| run_edge(index)));
+                    }
+                });
+            }
+        }
+
+        let edge_runs: Vec<EdgeRun> = work
+            .iter()
+            .zip(&checksums)
+            .map(|(&(motif, elements, seed), checksum)| EdgeRun {
+                motif,
+                elements,
+                seed,
+                checksum: *checksum.get().expect("every edge ran"),
+            })
+            .collect();
+
+        // Fold in topological-index order, independent of execution order.
+        let checksum = edge_runs.iter().enumerate().fold(0u64, |acc, (i, run)| {
+            acc ^ run.checksum.rotate_left(i as u32)
+        });
+
+        DagExecution {
+            stages: stages.len(),
+            max_stage_width,
+            edge_runs,
+            checksum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpb_datagen::{DataClass, DataDescriptor, Distribution};
+
+    fn descriptor() -> DataDescriptor {
+        DataDescriptor::new(DataClass::Text, 1 << 20, 100, 0.0, Distribution::Uniform)
+    }
+
+    fn diamond() -> ProxyDag {
+        let mut dag = ProxyDag::new();
+        let input = dag.add_node("input", descriptor());
+        let left = dag.add_node("left", descriptor());
+        let right = dag.add_node("right", descriptor());
+        let out = dag.add_node("out", descriptor());
+        dag.add_edge(input, left, MotifKind::QuickSort, 0.4);
+        dag.add_edge(input, right, MotifKind::RandomSampling, 0.1);
+        dag.add_edge(left, out, MotifKind::MergeSort, 0.3);
+        dag.add_edge(right, out, MotifKind::CountStatistics, 0.2);
+        dag
+    }
+
+    #[test]
+    fn execution_covers_every_edge_and_reports_the_schedule() {
+        let run = DagExecutor::new().execute(&diamond(), 512, 7);
+        assert_eq!(run.kernels_run(), 4);
+        assert_eq!(run.stages, 2);
+        assert_eq!(run.max_stage_width, 2);
+        assert!(run.edge_runs.iter().all(|r| r.elements >= 16));
+    }
+
+    #[test]
+    fn checksum_is_identical_across_worker_counts_and_repeats() {
+        let dag = diamond();
+        let serial = DagExecutor::new();
+        let parallel = DagExecutor::new().with_max_parallel(8);
+        let a = serial.execute(&dag, 2_000, 42);
+        let b = parallel.execute(&dag, 2_000, 42);
+        let c = parallel.execute(&dag, 2_000, 42);
+        assert_eq!(a, b, "parallelism must not change the execution");
+        assert_eq!(b, c, "repeated runs must be identical");
+    }
+
+    #[test]
+    fn edge_seeds_are_derived_from_the_topological_index() {
+        let run = DagExecutor::new().execute(&diamond(), 256, 5);
+        let seeds: Vec<u64> = run.edge_runs.iter().map(|r| r.seed).collect();
+        let expected: Vec<u64> = (0..4).map(|i| derive_seed(5, i)).collect();
+        assert_eq!(seeds, expected);
+    }
+
+    #[test]
+    fn different_seeds_change_the_checksum() {
+        let dag = diamond();
+        let executor = DagExecutor::new();
+        assert_ne!(
+            executor.execute(&dag, 512, 1).checksum,
+            executor.execute(&dag, 512, 2).checksum
+        );
+    }
+
+    #[test]
+    fn pool_is_reused_across_executions() {
+        let executor = DagExecutor::new();
+        let dag = diamond();
+        executor.execute(&dag, 512, 1);
+        let before = executor.pool().stats();
+        executor.execute(&dag, 512, 1);
+        let after = executor.pool().stats();
+        assert!(
+            after.reused > before.reused,
+            "second execution must recycle the first one's buffers"
+        );
+    }
+
+    #[test]
+    fn max_parallel_is_clamped() {
+        assert_eq!(DagExecutor::new().with_max_parallel(0).max_parallel(), 1);
+        assert_eq!(
+            DagExecutor::new().with_max_parallel(1_000).max_parallel(),
+            64
+        );
+    }
+}

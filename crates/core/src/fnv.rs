@@ -1,5 +1,6 @@
-//! Crate-internal FNV-1a hashing shared by the proxy sample checksums,
-//! the tuning-cache fingerprints and the suite-report digest.
+//! Crate-internal FNV-1a hashing shared by the tuning-cache fingerprints
+//! and the suite-report digest.  (Kernel checksums moved to
+//! `dmpb_motifs::kernel` with the motif registry.)
 
 const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const PRIME: u64 = 0x1000_0000_01b3;
@@ -12,11 +13,6 @@ pub(crate) fn hash_bytes(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(PRIME);
     }
     h
-}
-
-/// FNV-1a over the bit patterns of a float sequence.
-pub(crate) fn hash_f64s<I: IntoIterator<Item = f64>>(values: I) -> u64 {
-    hash_u64s(values.into_iter().map(f64::to_bits))
 }
 
 /// FNV-1a over a word sequence (one mixing step per word).

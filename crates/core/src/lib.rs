@@ -29,7 +29,12 @@
 //! end-to-end driver and [`suite`] for the eight-proxy suite: the five
 //! proxies of the paper's evaluation plus the three Spark stack twins),
 //! which can be measured under the shared performance-model instrument or
-//! executed for real on generated sample data.
+//! executed for real on generated sample data: the workload's declared
+//! fork/join topology becomes a branching [`dag::ProxyDag`], and the
+//! stage-parallel [`executor::DagExecutor`] runs its motif kernels —
+//! independent branches concurrently — through the motif-kernel registry,
+//! with per-edge derived seeds keeping digests byte-identical across
+//! thread counts.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -38,6 +43,7 @@ pub mod autotune;
 pub mod dag;
 pub mod decompose;
 pub mod dtree;
+pub mod executor;
 pub mod features;
 mod fnv;
 pub mod generator;
@@ -47,6 +53,7 @@ pub mod proxy;
 pub mod runner;
 pub mod suite;
 
+pub use executor::{DagExecution, DagExecutor};
 pub use generator::{GenerationReport, ProxyGenerator};
 pub use parameters::ProxyParameters;
 pub use proxy::ProxyBenchmark;

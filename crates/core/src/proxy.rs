@@ -1,18 +1,18 @@
-//! The proxy benchmark itself: a DAG of weighted motifs plus a parameter
-//! vector, measurable under the performance model and executable for real.
+//! The proxy benchmark itself: a DAG of weighted data motifs plus a
+//! parameter vector, measurable under the performance model and executable
+//! for real.
+//!
+//! All motif cost modelling and kernel execution dispatches through the
+//! [`MotifRegistry`] — the proxy holds no per-motif `match` blocks.  The
+//! DAG topology comes from the workload's declared [`DagPlan`] (fork/join
+//! structure included) and is executed by the stage-parallel
+//! [`DagExecutor`].
 
-use dmpb_datagen::image::{ImageGenerator, TensorLayout, TensorShape};
-use dmpb_datagen::matrix::MatrixSpec;
-use dmpb_datagen::text::TextGenerator;
+use std::collections::HashMap;
+
 use dmpb_datagen::DataDescriptor;
 use dmpb_metrics::MetricVector;
-use dmpb_motifs::ai::convolution::{conv2d, FilterBank, Padding};
-use dmpb_motifs::ai::pooling::{average_pool2d, max_pool2d};
-use dmpb_motifs::ai::{activation, fully_connected, normalization, reduce, regularization};
-use dmpb_motifs::bigdata::{
-    graph_ops, logic, matrix_ops, sampling, set_ops, sort, statistics, transform,
-};
-use dmpb_motifs::MotifKind;
+use dmpb_motifs::{DagPlan, MotifKind, MotifRegistry};
 use dmpb_perfmodel::arch::ArchProfile;
 use dmpb_perfmodel::profile::OpProfile;
 use dmpb_perfmodel::ExecutionEngine;
@@ -21,6 +21,7 @@ use dmpb_workloads::WorkloadKind;
 
 use crate::dag::ProxyDag;
 use crate::decompose::{Decomposition, MotifComponent};
+use crate::executor::{DagExecution, DagExecutor};
 use crate::parameters::ProxyParameters;
 
 /// A generated proxy benchmark.
@@ -28,6 +29,7 @@ use crate::parameters::ProxyParameters;
 pub struct ProxyBenchmark {
     kind: WorkloadKind,
     components: Vec<MotifComponent>,
+    plan: DagPlan,
     input: DataDescriptor,
     parameters: ProxyParameters,
 }
@@ -41,12 +43,22 @@ pub struct ExecutionSummary {
     pub checksum: u64,
 }
 
+impl From<&DagExecution> for ExecutionSummary {
+    fn from(execution: &DagExecution) -> Self {
+        Self {
+            kernels_run: execution.kernels_run(),
+            checksum: execution.checksum,
+        }
+    }
+}
+
 impl ProxyBenchmark {
     /// Builds a proxy from a decomposition and an initial parameter vector.
     pub fn from_decomposition(decomposition: &Decomposition, parameters: ProxyParameters) -> Self {
         Self {
             kind: decomposition.kind,
             components: decomposition.components.clone(),
+            plan: decomposition.plan.clone(),
             input: decomposition.input,
             parameters,
         }
@@ -65,6 +77,11 @@ impl ProxyBenchmark {
     /// The motif components and their weights.
     pub fn components(&self) -> &[MotifComponent] {
         &self.components
+    }
+
+    /// The declared DAG topology the proxy's edges follow.
+    pub fn plan(&self) -> &DagPlan {
+        &self.plan
     }
 
     /// The current parameter vector.
@@ -132,21 +149,49 @@ impl ProxyBenchmark {
         weights
     }
 
-    /// The DAG-like structure of the proxy: the input node, one
-    /// intermediate node per motif edge and a final output node.
+    /// The proxy's DAG: the workload's declared fork/join topology
+    /// ([`ProxyBenchmark::plan`]) instantiated with the effectively
+    /// weighted motif edges and scaled data descriptors.  Source nodes
+    /// carry the proxy input, intermediate and sink nodes the (half-sized)
+    /// in-flight data sets.
     pub fn dag(&self) -> ProxyDag {
+        self.dag_from_plan(&self.plan)
+    }
+
+    /// The degenerate straight-pipeline version of the same proxy (one
+    /// stage per motif, in component order) — the pre-fork/join shape,
+    /// kept for linear-vs-branching comparisons in the benches.
+    pub fn chain_dag(&self) -> ProxyDag {
+        let motifs: Vec<MotifKind> = self.components.iter().map(|c| c.motif).collect();
+        self.dag_from_plan(&DagPlan::chain(&motifs))
+    }
+
+    fn dag_from_plan(&self, plan: &DagPlan) -> ProxyDag {
+        let weights: HashMap<MotifKind, f64> = self.effective_weights().into_iter().collect();
+        let intermediate = self
+            .proxy_input()
+            .scaled_to((self.parameters.data_size_bytes / 2).max(1));
+
+        let mut has_incoming = vec![false; plan.node_labels().len()];
+        for edge in plan.edges() {
+            has_incoming[edge.to] = true;
+        }
+
         let mut dag = ProxyDag::new();
-        let input = dag.add_node("input", self.proxy_input());
-        let weights = self.effective_weights();
-        let mut previous = input;
-        for (i, (motif, weight)) in weights.iter().enumerate() {
-            let node = dag.add_node(
-                format!("stage-{}", i + 1),
+        for (id, label) in plan.node_labels().iter().enumerate() {
+            let descriptor = if has_incoming[id] {
+                intermediate
+            } else {
                 self.proxy_input()
-                    .scaled_to((self.parameters.data_size_bytes / 2).max(1)),
-            );
-            dag.add_edge(previous, node, *motif, *weight);
-            previous = node;
+            };
+            dag.add_node(label.clone(), descriptor);
+        }
+        for edge in plan.edges() {
+            let weight = weights
+                .get(&edge.motif)
+                .copied()
+                .expect("plan motifs match the decomposition components");
+            dag.add_edge(edge.from, edge.to, edge.motif, weight);
         }
         dag
     }
@@ -160,11 +205,17 @@ impl ProxyBenchmark {
         let data = self.proxy_input();
         let config = self.parameters.motif_config();
         let weights = self.effective_weights();
+        let registry = MotifRegistry::global();
 
         // Raw cost of each motif over the full proxy input.
         let raw: Vec<(f64, OpProfile)> = weights
             .iter()
-            .map(|(motif, weight)| (*weight, motif.cost_profile(&data, &config)))
+            .map(|(motif, weight)| {
+                (
+                    *weight,
+                    registry.kernel(*motif).cost_profile(&data, &config),
+                )
+            })
             .collect();
         let total_raw: f64 = raw.iter().map(|(_, p)| p.total_instructions() as f64).sum();
 
@@ -220,190 +271,19 @@ impl ProxyBenchmark {
         ExecutionEngine::new(*arch).run(&self.profile(), self.parameters.num_tasks)
     }
 
-    /// Really executes a scaled-down version of every motif kernel in the
-    /// proxy on freshly generated data, returning a checksum.  This is the
-    /// "runs on a real machine" face of the proxy, used by the examples and
-    /// the Criterion benches; `elements` bounds the per-kernel input size.
-    pub fn execute_sample(&self, elements: usize, seed: u64) -> ExecutionSummary {
-        let mut checksum = 0u64;
-        let weights = self.effective_weights();
-        for (i, (motif, weight)) in weights.iter().enumerate() {
-            let n = ((elements as f64 * weight).ceil() as usize).max(16);
-            checksum ^=
-                run_sample_kernel(*motif, n, seed.wrapping_add(i as u64)).rotate_left(i as u32);
-        }
-        ExecutionSummary {
-            kernels_run: weights.len(),
-            checksum,
-        }
+    /// Really executes every motif kernel of the proxy's DAG on freshly
+    /// generated data through `executor`, returning the full per-edge
+    /// execution record.  This is the "runs on a real machine" face of the
+    /// proxy; `elements` bounds the per-kernel input size.
+    pub fn execute_dag(&self, executor: &DagExecutor, elements: usize, seed: u64) -> DagExecution {
+        executor.execute(&self.dag(), elements, seed)
     }
-}
 
-use crate::fnv::{hash_bytes, hash_f64s};
-
-/// Runs one real motif kernel on `n` generated elements and folds the
-/// result into a checksum.
-fn run_sample_kernel(motif: MotifKind, n: usize, seed: u64) -> u64 {
-    use MotifKind::*;
-    match motif {
-        QuickSort => {
-            let mut keys = TextGenerator::new(seed).generate(n).keys();
-            sort::quick_sort(&mut keys);
-            hash_bytes(&keys[0])
-        }
-        MergeSort => {
-            let keys = TextGenerator::new(seed).generate(n).keys();
-            let sorted = sort::merge_sort(&keys);
-            hash_bytes(&sorted[sorted.len() / 2])
-        }
-        RandomSampling => sampling::random_sample_indices(n, 0.1, seed).len() as u64,
-        IntervalSampling => sampling::interval_sample_indices(n, 10, 0).len() as u64,
-        SetUnion | SetIntersection | SetDifference => {
-            let a: Vec<u64> = (0..n as u64).map(|i| i * 3 % (n as u64)).collect();
-            let b: Vec<u64> = (0..n as u64).map(|i| i * 7 % (n as u64)).collect();
-            let (a, b) = (set_ops::normalize(&a), set_ops::normalize(&b));
-            let out = match motif {
-                SetUnion => set_ops::union(&a, &b),
-                SetIntersection => set_ops::intersection(&a, &b),
-                _ => set_ops::difference(&a, &b),
-            };
-            out.len() as u64
-        }
-        GraphConstruct | GraphTraversal => {
-            let vertices = n.max(8);
-            let edges: Vec<(u32, u32)> = (0..vertices * 4)
-                .map(|i| ((i % vertices) as u32, ((i * 31 + 7) % vertices) as u32))
-                .collect();
-            let graph = graph_ops::construct(vertices, &edges);
-            if motif == GraphTraversal {
-                graph_ops::traversal_reach(&graph, 0) as u64
-            } else {
-                graph.num_edges() as u64
-            }
-        }
-        CountStatistics | MinMax | ProbabilityStatistics => {
-            let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
-            match motif {
-                CountStatistics => hash_f64s([statistics::count_average(&values).1]),
-                MinMax => {
-                    let (min, max) = statistics::min_max(&values).unwrap_or((0.0, 0.0));
-                    hash_f64s([min, max])
-                }
-                _ => {
-                    let keys: Vec<u32> = (0..n).map(|i| (i % 17) as u32).collect();
-                    statistics::probabilities(&keys).len() as u64
-                }
-            }
-        }
-        Md5Hash => {
-            let data = TextGenerator::new(seed).generate(n.min(512));
-            hash_bytes(&logic::md5(data.as_bytes()))
-        }
-        Encryption => {
-            let data = TextGenerator::new(seed).generate(n.min(512));
-            hash_bytes(&logic::xor_encrypt(data.as_bytes(), seed | 1))
-        }
-        Fft | Ifft => {
-            let len = n.next_power_of_two().clamp(64, 4096);
-            let signal: Vec<f64> = (0..len).map(|i| (i as f64 * 0.11).cos()).collect();
-            let spectrum = transform::fft_real(&signal);
-            if motif == Ifft {
-                hash_f64s(transform::ifft_real(&spectrum))
-            } else {
-                hash_f64s(spectrum.into_iter().map(|(re, _)| re))
-            }
-        }
-        Dct => hash_f64s(transform::dct2(
-            &(0..n.min(256))
-                .map(|i| (i as f64 * 0.21).sin())
-                .collect::<Vec<_>>(),
-        )),
-        DistanceCalculation => {
-            let dim = 32;
-            let a: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.3).sin()).collect();
-            let b: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.7).cos()).collect();
-            hash_f64s([
-                matrix_ops::euclidean_distance(&a, &b),
-                matrix_ops::cosine_distance(&a, &b),
-            ])
-        }
-        MatrixMultiply => {
-            let size = (n as f64).sqrt().ceil().clamp(4.0, 64.0) as usize;
-            let a = MatrixSpec::dense(size, size, seed).generate_dense();
-            let b = MatrixSpec::dense(size, size, seed ^ 1).generate_dense();
-            hash_f64s([matrix_ops::matrix_multiply(&a, &b).frobenius_norm()])
-        }
-        // --- AI kernels --------------------------------------------------
-        Convolution => {
-            let t = ImageGenerator::new(seed)
-                .generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
-            let filters = FilterBank::constant(4, 3, 3, 0.1);
-            hash_f64s(
-                conv2d(&t, &filters, 1, Padding::Same)
-                    .as_slice()
-                    .iter()
-                    .map(|&v| f64::from(v)),
-            )
-        }
-        MaxPooling | AveragePooling => {
-            let t = ImageGenerator::new(seed)
-                .generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
-            let out = if motif == MaxPooling {
-                max_pool2d(&t, 2, 2)
-            } else {
-                average_pool2d(&t, 2, 2)
-            };
-            hash_f64s(out.as_slice().iter().map(|&v| f64::from(v)))
-        }
-        FullyConnected => {
-            let input: Vec<f32> = (0..64).map(|i| i as f32 * 0.01).collect();
-            let weights: Vec<f32> = (0..64 * 8).map(|i| (i % 7) as f32 * 0.1).collect();
-            let out = fully_connected::fully_connected(&input, &weights, &[0.0; 8], 1, 64, 8);
-            hash_f64s(out.into_iter().map(f64::from))
-        }
-        ElementWiseMultiply => {
-            let a: Vec<f32> = (0..n.min(1024)).map(|i| i as f32 * 0.5).collect();
-            hash_f64s(
-                fully_connected::element_wise_multiply(&a, &a)
-                    .into_iter()
-                    .map(f64::from),
-            )
-        }
-        Sigmoid | Tanh | Relu | Softmax => {
-            let x: Vec<f32> = (0..n.min(1024))
-                .map(|i| (i as f32 - 512.0) * 0.01)
-                .collect();
-            let out = match motif {
-                Sigmoid => activation::sigmoid(&x),
-                Tanh => activation::tanh(&x),
-                Relu => activation::relu(&x),
-                _ => activation::softmax(&x, x.len().max(1)),
-            };
-            hash_f64s(out.into_iter().map(f64::from))
-        }
-        Dropout => {
-            let x = vec![1.0f32; n.min(1024)];
-            hash_f64s(
-                regularization::dropout(&x, 0.5, seed)
-                    .into_iter()
-                    .map(f64::from),
-            )
-        }
-        BatchNormalization | CosineNormalization => {
-            let x: Vec<f32> = (0..n.min(1024)).map(|i| i as f32 * 0.3).collect();
-            hash_f64s(
-                normalization::cosine_normalize(&x)
-                    .into_iter()
-                    .map(f64::from),
-            )
-        }
-        ReduceSum => hash_f64s([f64::from(reduce::reduce_sum(
-            &(0..n.min(4096)).map(|i| i as f32).collect::<Vec<_>>(),
-        ))]),
-        ReduceMax => hash_f64s([f64::from(
-            reduce::reduce_max(&(0..n.min(4096)).map(|i| i as f32).collect::<Vec<_>>())
-                .unwrap_or(0.0),
-        )]),
+    /// Convenience wrapper around [`ProxyBenchmark::execute_dag`] with a
+    /// serial executor, summarised to kernel count + checksum (used by the
+    /// examples and the Criterion benches).
+    pub fn execute_sample(&self, elements: usize, seed: u64) -> ExecutionSummary {
+        ExecutionSummary::from(&self.execute_dag(&DagExecutor::new(), elements, seed))
     }
 }
 
@@ -460,6 +340,32 @@ mod tests {
     }
 
     #[test]
+    fn dag_follows_the_declared_plan_and_chain_dag_stays_linear() {
+        for proxy in proxies() {
+            let dag = proxy.dag();
+            assert_eq!(
+                dag.is_branching(),
+                proxy.plan().is_branching(),
+                "{}",
+                proxy.name()
+            );
+            let chain = proxy.chain_dag();
+            assert!(!chain.is_branching(), "{}", proxy.name());
+            assert_eq!(chain.num_edges(), dag.num_edges());
+        }
+    }
+
+    #[test]
+    fn dag_edge_weights_are_the_effective_weights() {
+        for proxy in proxies() {
+            let weights: HashMap<MotifKind, f64> = proxy.effective_weights().into_iter().collect();
+            for edge in proxy.dag().edges() {
+                assert_eq!(edge.weight, weights[&edge.motif], "{}", proxy.name());
+            }
+        }
+    }
+
+    #[test]
     fn profile_and_measurement_are_sane_for_every_proxy() {
         let arch = dmpb_perfmodel::ArchProfile::westmere_e5645();
         for proxy in proxies() {
@@ -494,15 +400,6 @@ mod tests {
             let b = proxy.execute_sample(256, 7);
             assert_eq!(a, b, "{}", proxy.name());
             assert_eq!(a.kernels_run, proxy.components().len());
-        }
-    }
-
-    #[test]
-    fn every_motif_kind_has_a_runnable_sample_kernel() {
-        for kind in MotifKind::ALL {
-            let checksum = run_sample_kernel(kind, 128, 3);
-            // Re-running with the same seed must be stable.
-            assert_eq!(checksum, run_sample_kernel(kind, 128, 3), "{kind}");
         }
     }
 

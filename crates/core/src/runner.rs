@@ -6,11 +6,15 @@
 //!
 //! * **Parallelism** — the eight workloads are tuned and executed
 //!   concurrently on scoped worker threads (bounded by
-//!   [`SuiteRunner::with_max_parallel`]).  Every stage of the pipeline is
-//!   deterministic, and each proxy's sample execution is driven by a seed
-//!   derived from the runner's base seed and the workload's position via
-//!   [`dmpb_datagen::rng::derive_seed`] — so the produced [`SuiteReport`]
-//!   is byte-for-byte identical run to run regardless of thread scheduling.
+//!   [`SuiteRunner::with_max_parallel`]), and each proxy's DAG is executed
+//!   by a shared stage-parallel [`DagExecutor`] whose branch concurrency
+//!   is bounded by [`SuiteRunner::with_intra_parallel`].  Every stage of
+//!   the pipeline is deterministic: each proxy's sample execution is
+//!   driven by a seed derived from the runner's base seed and the
+//!   workload's position via [`dmpb_datagen::rng::derive_seed`], and the
+//!   executor derives per-edge seeds from topological indices — so the
+//!   produced [`SuiteReport`] is byte-for-byte identical run to run
+//!   regardless of worker counts and thread scheduling.
 //! * **Memoization** — decision-tree tuning results are cached in a
 //!   [`TuningCache`] keyed by (workload, software stack, cluster
 //!   configuration, tuner configuration).  Repeated runs against the same
@@ -41,6 +45,7 @@ use dmpb_datagen::rng::derive_seed;
 use dmpb_metrics::table::{fmt_percent, fmt_speedup, TextTable};
 use dmpb_workloads::{ClusterConfig, Framework, WorkloadKind};
 
+use crate::executor::DagExecutor;
 use crate::generator::{GenerationReport, ProxyGenerator};
 use crate::proxy::ExecutionSummary;
 
@@ -275,6 +280,7 @@ pub struct SuiteRunner {
     generator: ProxyGenerator,
     base_seed: u64,
     max_parallel: usize,
+    executor: DagExecutor,
     cache: TuningCache,
 }
 
@@ -291,6 +297,7 @@ impl SuiteRunner {
             generator,
             base_seed: 0x00D4_17A4_0F1F,
             max_parallel: WorkloadKind::ALL.len(),
+            executor: DagExecutor::new(),
             cache: TuningCache::new(),
         }
     }
@@ -307,6 +314,22 @@ impl SuiteRunner {
     pub fn with_max_parallel(mut self, workers: usize) -> Self {
         self.max_parallel = workers.clamp(1, WorkloadKind::ALL.len());
         self
+    }
+
+    /// Bounds the number of DAG branches executed concurrently *within*
+    /// one proxy (the [`DagExecutor`]'s worker budget).  Intra-proxy
+    /// parallelism is a pure performance axis: per-edge seeds are derived
+    /// from topological indices, so the report digest is identical for any
+    /// setting.
+    pub fn with_intra_parallel(mut self, workers: usize) -> Self {
+        self.executor = DagExecutor::new().with_max_parallel(workers);
+        self
+    }
+
+    /// The stage-parallel DAG executor shared by every proxy of the suite
+    /// (one intermediate-buffer pool across all sample executions).
+    pub fn executor(&self) -> &DagExecutor {
+        &self.executor
     }
 
     /// The generator driving decomposition and tuning.
@@ -346,7 +369,11 @@ impl SuiteRunner {
     fn run_indexed(&self, index: usize, kind: WorkloadKind) -> ProxyRun {
         let report = self.tuned_report(kind);
         let seed = derive_seed(self.base_seed, index as u64);
-        let execution = report.proxy.execute_sample(SAMPLE_ELEMENTS, seed);
+        let execution = ExecutionSummary::from(&report.proxy.execute_dag(
+            &self.executor,
+            SAMPLE_ELEMENTS,
+            seed,
+        ));
         ProxyRun {
             kind,
             seed,
@@ -448,6 +475,19 @@ mod tests {
             .with_max_parallel(1)
             .run_all();
         assert_eq!(parallel.digest(), serial.digest());
+    }
+
+    #[test]
+    fn intra_proxy_parallelism_does_not_change_the_report() {
+        let serial = SuiteRunner::new(ClusterConfig::five_node_westmere()).run_all();
+        let branchy = SuiteRunner::new(ClusterConfig::five_node_westmere())
+            .with_intra_parallel(8)
+            .run_all();
+        assert_eq!(
+            serial.digest(),
+            branchy.digest(),
+            "intra-proxy branch parallelism must be a pure performance axis"
+        );
     }
 
     #[test]

@@ -4,7 +4,6 @@ use dmpb_datagen::DataDescriptor;
 use dmpb_perfmodel::OpProfile;
 
 use crate::config::MotifConfig;
-use crate::cost;
 
 /// The eight data-motif classes identified by the data-motif paper and used
 /// throughout this reproduction.
@@ -265,8 +264,13 @@ impl MotifKind {
 
     /// Produces the operation profile of running this motif implementation
     /// over `data` with configuration `config`.
+    ///
+    /// Dispatches through the [`crate::kernel::MotifRegistry`], whose
+    /// kernels delegate to the analytic models in [`crate::cost`].
     pub fn cost_profile(&self, data: &DataDescriptor, config: &MotifConfig) -> OpProfile {
-        cost::cost_profile(*self, data, config)
+        crate::kernel::MotifRegistry::global()
+            .kernel(*self)
+            .cost_profile(data, config)
     }
 }
 

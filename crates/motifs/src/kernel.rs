@@ -1,0 +1,590 @@
+//! The [`MotifKernel`] trait and the registry of one kernel per
+//! [`MotifKind`].
+//!
+//! A kernel is the uniform, object-safe face of one motif implementation.
+//! It bundles the two things a proxy benchmark needs from a motif:
+//!
+//! * [`MotifKernel::cost_profile`] — the analytic cost model (delegating to
+//!   [`crate::cost`]), used to *measure* the motif at the paper's data
+//!   scale without materialising data; and
+//! * [`MotifKernel::execute`] — the real, scaled-down sample kernel, used
+//!   to *run* the motif on generated data and fold its output into a
+//!   checksum.  Scratch storage is leased from a shared [`BufferPool`], so
+//!   a DAG full of kernels recycles allocations instead of re-allocating
+//!   per edge.
+//!
+//! The [`MotifRegistry`] maps every [`MotifKind`] to its kernel object.
+//! Registration happens in one exhaustive `match` (`kernel_for`): adding
+//! a `MotifKind` variant without a kernel is a *compile* error, and the
+//! registry's own tests additionally assert the mapping round-trips for
+//! every variant.  Downstream crates dispatch through the registry instead
+//! of maintaining their own `match motif { … }` blocks.
+//!
+//! Execution is deterministic: a kernel's checksum depends only on `(n,
+//! seed)`, never on pool state or thread scheduling (leased buffers are
+//! zero-filled; see [`crate::pool`]).
+
+use std::sync::OnceLock;
+
+use dmpb_datagen::image::{ImageGenerator, TensorLayout, TensorShape};
+use dmpb_datagen::matrix::MatrixSpec;
+use dmpb_datagen::text::TextGenerator;
+use dmpb_datagen::DataDescriptor;
+use dmpb_perfmodel::profile::OpProfile;
+
+use crate::ai::convolution::{conv2d, FilterBank, Padding};
+use crate::ai::pooling::{average_pool2d, max_pool2d};
+use crate::ai::{activation, fully_connected, normalization, reduce, regularization};
+use crate::bigdata::{
+    graph_ops, logic, matrix_ops, sampling, set_ops, sort, statistics, transform,
+};
+use crate::class::MotifKind;
+use crate::config::MotifConfig;
+use crate::cost;
+use crate::pool::BufferPool;
+
+// --- FNV-1a checksum folding (shared by all kernels) ---------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn hash_f64s<I: IntoIterator<Item = f64>>(values: I) -> u64 {
+    let mut h = FNV_OFFSET;
+    for v in values {
+        h ^= v.to_bits();
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One data-motif implementation behind a uniform cost/execution interface.
+///
+/// Implementations are stateless singletons owned by the [`MotifRegistry`];
+/// all per-invocation state lives in the arguments (and the leased pool
+/// buffers), which is what makes concurrent execution of independent DAG
+/// branches safe.
+pub trait MotifKernel: Send + Sync + std::fmt::Debug {
+    /// Which motif implementation this kernel realises.
+    fn kind(&self) -> MotifKind;
+
+    /// The analytic operation profile of running this motif over `data`
+    /// with configuration `config` (the "measure without materialising"
+    /// face; see [`crate::cost`]).
+    fn cost_profile(&self, data: &DataDescriptor, config: &MotifConfig) -> OpProfile {
+        cost::cost_profile(self.kind(), data, config)
+    }
+
+    /// Really executes the scaled-down sample kernel over `n` generated
+    /// elements, leasing scratch storage from `pool`, and returns a
+    /// checksum over the output.  Deterministic in `(n, seed)`.
+    fn execute(&self, n: usize, seed: u64, pool: &BufferPool) -> u64;
+}
+
+/// Declares a private unit struct implementing [`MotifKernel`] for one
+/// [`MotifKind`], with the `execute` body written inline.
+macro_rules! kernel {
+    ($struct:ident, $kind:ident, |$n:ident, $seed:ident, $pool:ident| $body:expr) => {
+        #[derive(Debug)]
+        struct $struct;
+
+        impl MotifKernel for $struct {
+            fn kind(&self) -> MotifKind {
+                MotifKind::$kind
+            }
+
+            #[allow(unused_variables)]
+            fn execute(&self, $n: usize, $seed: u64, $pool: &BufferPool) -> u64 {
+                $body
+            }
+        }
+    };
+}
+
+// --- Big-data kernels ----------------------------------------------------
+
+kernel!(QuickSortKernel, QuickSort, |n, seed, pool| {
+    let mut keys = TextGenerator::new(seed).generate(n).keys();
+    sort::quick_sort(&mut keys);
+    hash_bytes(&keys[0])
+});
+
+kernel!(MergeSortKernel, MergeSort, |n, seed, pool| {
+    let keys = TextGenerator::new(seed).generate(n).keys();
+    let sorted = sort::merge_sort(&keys);
+    hash_bytes(&sorted[sorted.len() / 2])
+});
+
+kernel!(RandomSamplingKernel, RandomSampling, |n, seed, pool| {
+    sampling::random_sample_indices(n, 0.1, seed).len() as u64
+});
+
+kernel!(IntervalSamplingKernel, IntervalSampling, |n, seed, pool| {
+    sampling::interval_sample_indices(n, 10, 0).len() as u64
+});
+
+fn set_inputs(n: usize) -> (Vec<u64>, Vec<u64>) {
+    let a: Vec<u64> = (0..n as u64).map(|i| i * 3 % (n as u64).max(1)).collect();
+    let b: Vec<u64> = (0..n as u64).map(|i| i * 7 % (n as u64).max(1)).collect();
+    (set_ops::normalize(&a), set_ops::normalize(&b))
+}
+
+kernel!(SetUnionKernel, SetUnion, |n, seed, pool| {
+    let (a, b) = set_inputs(n);
+    set_ops::union(&a, &b).len() as u64
+});
+
+kernel!(SetIntersectionKernel, SetIntersection, |n, seed, pool| {
+    let (a, b) = set_inputs(n);
+    set_ops::intersection(&a, &b).len() as u64
+});
+
+kernel!(SetDifferenceKernel, SetDifference, |n, seed, pool| {
+    let (a, b) = set_inputs(n);
+    set_ops::difference(&a, &b).len() as u64
+});
+
+fn sample_graph(n: usize) -> dmpb_datagen::graph::CsrGraph {
+    let vertices = n.max(8);
+    let edges: Vec<(u32, u32)> = (0..vertices * 4)
+        .map(|i| ((i % vertices) as u32, ((i * 31 + 7) % vertices) as u32))
+        .collect();
+    graph_ops::construct(vertices, &edges)
+}
+
+kernel!(GraphConstructKernel, GraphConstruct, |n, seed, pool| {
+    sample_graph(n).num_edges() as u64
+});
+
+kernel!(GraphTraversalKernel, GraphTraversal, |n, seed, pool| {
+    graph_ops::traversal_reach(&sample_graph(n), 0) as u64
+});
+
+fn statistics_values(pool: &BufferPool, n: usize) -> crate::pool::Lease<'_, f64> {
+    let mut values = pool.f64s(n);
+    for (i, v) in values.iter_mut().enumerate() {
+        *v = (i as f64 * 0.37).sin();
+    }
+    values
+}
+
+kernel!(CountStatisticsKernel, CountStatistics, |n, seed, pool| {
+    hash_f64s([statistics::count_average(&statistics_values(pool, n)).1])
+});
+
+kernel!(MinMaxKernel, MinMax, |n, seed, pool| {
+    let values = statistics_values(pool, n);
+    let (min, max) = statistics::min_max(&values).unwrap_or((0.0, 0.0));
+    hash_f64s([min, max])
+});
+
+kernel!(
+    ProbabilityStatisticsKernel,
+    ProbabilityStatistics,
+    |n, seed, pool| {
+        let keys: Vec<u32> = (0..n).map(|i| (i % 17) as u32).collect();
+        statistics::probabilities(&keys).len() as u64
+    }
+);
+
+kernel!(Md5HashKernel, Md5Hash, |n, seed, pool| {
+    let data = TextGenerator::new(seed).generate(n.min(512));
+    hash_bytes(&logic::md5(data.as_bytes()))
+});
+
+kernel!(EncryptionKernel, Encryption, |n, seed, pool| {
+    let data = TextGenerator::new(seed).generate(n.min(512));
+    hash_bytes(&logic::xor_encrypt(data.as_bytes(), seed | 1))
+});
+
+fn fft_signal(pool: &BufferPool, n: usize) -> crate::pool::Lease<'_, f64> {
+    let len = n.next_power_of_two().clamp(64, 4096);
+    let mut signal = pool.f64s(len);
+    for (i, v) in signal.iter_mut().enumerate() {
+        *v = (i as f64 * 0.11).cos();
+    }
+    signal
+}
+
+kernel!(FftKernel, Fft, |n, seed, pool| {
+    let spectrum = transform::fft_real(&fft_signal(pool, n));
+    hash_f64s(spectrum.into_iter().map(|(re, _)| re))
+});
+
+kernel!(IfftKernel, Ifft, |n, seed, pool| {
+    let spectrum = transform::fft_real(&fft_signal(pool, n));
+    hash_f64s(transform::ifft_real(&spectrum))
+});
+
+kernel!(DctKernel, Dct, |n, seed, pool| {
+    let mut samples = pool.f64s(n.min(256));
+    for (i, v) in samples.iter_mut().enumerate() {
+        *v = (i as f64 * 0.21).sin();
+    }
+    hash_f64s(transform::dct2(&samples))
+});
+
+kernel!(
+    DistanceCalculationKernel,
+    DistanceCalculation,
+    |n, seed, pool| {
+        let dim = 32;
+        let mut a = pool.f64s(dim);
+        let mut b = pool.f64s(dim);
+        for i in 0..dim {
+            a[i] = (i as f64 * 0.3).sin();
+            b[i] = (i as f64 * 0.7).cos();
+        }
+        hash_f64s([
+            matrix_ops::euclidean_distance(&a, &b),
+            matrix_ops::cosine_distance(&a, &b),
+        ])
+    }
+);
+
+kernel!(MatrixMultiplyKernel, MatrixMultiply, |n, seed, pool| {
+    let size = (n as f64).sqrt().ceil().clamp(4.0, 64.0) as usize;
+    let a = MatrixSpec::dense(size, size, seed).generate_dense();
+    let b = MatrixSpec::dense(size, size, seed ^ 1).generate_dense();
+    hash_f64s([matrix_ops::matrix_multiply(&a, &b).frobenius_norm()])
+});
+
+// --- AI kernels ----------------------------------------------------------
+
+kernel!(ConvolutionKernel, Convolution, |n, seed, pool| {
+    let t = ImageGenerator::new(seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
+    let filters = FilterBank::constant(4, 3, 3, 0.1);
+    hash_f64s(
+        conv2d(&t, &filters, 1, Padding::Same)
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v)),
+    )
+});
+
+kernel!(MaxPoolingKernel, MaxPooling, |n, seed, pool| {
+    let t = ImageGenerator::new(seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
+    hash_f64s(
+        max_pool2d(&t, 2, 2)
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v)),
+    )
+});
+
+kernel!(AveragePoolingKernel, AveragePooling, |n, seed, pool| {
+    let t = ImageGenerator::new(seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
+    hash_f64s(
+        average_pool2d(&t, 2, 2)
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v)),
+    )
+});
+
+kernel!(FullyConnectedKernel, FullyConnected, |n, seed, pool| {
+    let mut input = pool.f32s(64);
+    for (i, v) in input.iter_mut().enumerate() {
+        *v = i as f32 * 0.01;
+    }
+    let mut weights = pool.f32s(64 * 8);
+    for (i, v) in weights.iter_mut().enumerate() {
+        *v = (i % 7) as f32 * 0.1;
+    }
+    let out = fully_connected::fully_connected(&input, &weights, &[0.0; 8], 1, 64, 8);
+    hash_f64s(out.into_iter().map(f64::from))
+});
+
+kernel!(
+    ElementWiseMultiplyKernel,
+    ElementWiseMultiply,
+    |n, seed, pool| {
+        let mut a = pool.f32s(n.min(1024));
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = i as f32 * 0.5;
+        }
+        hash_f64s(
+            fully_connected::element_wise_multiply(&a, &a)
+                .into_iter()
+                .map(f64::from),
+        )
+    }
+);
+
+fn activation_input(pool: &BufferPool, n: usize) -> crate::pool::Lease<'_, f32> {
+    let mut x = pool.f32s(n.min(1024));
+    for (i, v) in x.iter_mut().enumerate() {
+        *v = (i as f32 - 512.0) * 0.01;
+    }
+    x
+}
+
+kernel!(SigmoidKernel, Sigmoid, |n, seed, pool| {
+    let x = activation_input(pool, n);
+    hash_f64s(activation::sigmoid(&x).into_iter().map(f64::from))
+});
+
+kernel!(TanhKernel, Tanh, |n, seed, pool| {
+    let x = activation_input(pool, n);
+    hash_f64s(activation::tanh(&x).into_iter().map(f64::from))
+});
+
+kernel!(ReluKernel, Relu, |n, seed, pool| {
+    let x = activation_input(pool, n);
+    hash_f64s(activation::relu(&x).into_iter().map(f64::from))
+});
+
+kernel!(SoftmaxKernel, Softmax, |n, seed, pool| {
+    let x = activation_input(pool, n);
+    hash_f64s(
+        activation::softmax(&x, x.len().max(1))
+            .into_iter()
+            .map(f64::from),
+    )
+});
+
+kernel!(DropoutKernel, Dropout, |n, seed, pool| {
+    let mut x = pool.f32s(n.min(1024));
+    x.fill(1.0);
+    hash_f64s(
+        regularization::dropout(&x, 0.5, seed)
+            .into_iter()
+            .map(f64::from),
+    )
+});
+
+fn normalization_input(pool: &BufferPool, n: usize) -> crate::pool::Lease<'_, f32> {
+    let mut x = pool.f32s(n.min(1024));
+    for (i, v) in x.iter_mut().enumerate() {
+        *v = i as f32 * 0.3;
+    }
+    x
+}
+
+kernel!(
+    BatchNormalizationKernel,
+    BatchNormalization,
+    |n, seed, pool| {
+        let x = normalization_input(pool, n);
+        hash_f64s(
+            normalization::cosine_normalize(&x)
+                .into_iter()
+                .map(f64::from),
+        )
+    }
+);
+
+kernel!(
+    CosineNormalizationKernel,
+    CosineNormalization,
+    |n, seed, pool| {
+        let x = normalization_input(pool, n);
+        hash_f64s(
+            normalization::cosine_normalize(&x)
+                .into_iter()
+                .map(f64::from),
+        )
+    }
+);
+
+fn reduce_input(pool: &BufferPool, n: usize) -> crate::pool::Lease<'_, f32> {
+    let mut x = pool.f32s(n.min(4096));
+    for (i, v) in x.iter_mut().enumerate() {
+        *v = i as f32;
+    }
+    x
+}
+
+kernel!(ReduceSumKernel, ReduceSum, |n, seed, pool| {
+    hash_f64s([f64::from(reduce::reduce_sum(&reduce_input(pool, n)))])
+});
+
+kernel!(ReduceMaxKernel, ReduceMax, |n, seed, pool| {
+    hash_f64s([f64::from(
+        reduce::reduce_max(&reduce_input(pool, n)).unwrap_or(0.0),
+    )])
+});
+
+/// Constructs the kernel object for one motif kind.
+///
+/// This match is the **single** kind→kernel dispatch point of the whole
+/// workspace, and it is deliberately written without a wildcard arm:
+/// adding a [`MotifKind`] variant without registering a kernel fails to
+/// compile here, long before any runtime lookup could miss.
+fn kernel_for(kind: MotifKind) -> &'static dyn MotifKernel {
+    use MotifKind::*;
+    match kind {
+        DistanceCalculation => &DistanceCalculationKernel,
+        MatrixMultiply => &MatrixMultiplyKernel,
+        RandomSampling => &RandomSamplingKernel,
+        IntervalSampling => &IntervalSamplingKernel,
+        SetUnion => &SetUnionKernel,
+        SetIntersection => &SetIntersectionKernel,
+        SetDifference => &SetDifferenceKernel,
+        GraphConstruct => &GraphConstructKernel,
+        GraphTraversal => &GraphTraversalKernel,
+        QuickSort => &QuickSortKernel,
+        MergeSort => &MergeSortKernel,
+        CountStatistics => &CountStatisticsKernel,
+        ProbabilityStatistics => &ProbabilityStatisticsKernel,
+        MinMax => &MinMaxKernel,
+        Md5Hash => &Md5HashKernel,
+        Encryption => &EncryptionKernel,
+        Fft => &FftKernel,
+        Ifft => &IfftKernel,
+        Dct => &DctKernel,
+        FullyConnected => &FullyConnectedKernel,
+        ElementWiseMultiply => &ElementWiseMultiplyKernel,
+        Sigmoid => &SigmoidKernel,
+        Tanh => &TanhKernel,
+        Softmax => &SoftmaxKernel,
+        MaxPooling => &MaxPoolingKernel,
+        AveragePooling => &AveragePoolingKernel,
+        Convolution => &ConvolutionKernel,
+        Dropout => &DropoutKernel,
+        BatchNormalization => &BatchNormalizationKernel,
+        CosineNormalization => &CosineNormalizationKernel,
+        ReduceSum => &ReduceSumKernel,
+        ReduceMax => &ReduceMaxKernel,
+        Relu => &ReluKernel,
+    }
+}
+
+/// The registry mapping every [`MotifKind`] to its [`MotifKernel`].
+///
+/// Lookup is an array index (`kind as usize` follows declaration order,
+/// which [`MotifKind::ALL`] mirrors), so dispatch through the registry is
+/// as cheap as the `match` blocks it replaces.
+#[derive(Debug)]
+pub struct MotifRegistry {
+    kernels: Vec<&'static dyn MotifKernel>,
+}
+
+impl MotifRegistry {
+    /// Builds a registry covering every motif kind.
+    fn new() -> Self {
+        let kernels: Vec<&'static dyn MotifKernel> =
+            MotifKind::ALL.iter().map(|&k| kernel_for(k)).collect();
+        for (i, kernel) in kernels.iter().enumerate() {
+            debug_assert_eq!(
+                kernel.kind() as usize,
+                i,
+                "MotifKind::ALL must follow declaration order"
+            );
+        }
+        Self { kernels }
+    }
+
+    /// The process-wide shared registry.
+    pub fn global() -> &'static MotifRegistry {
+        static REGISTRY: OnceLock<MotifRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(MotifRegistry::new)
+    }
+
+    /// The kernel registered for `kind`.
+    pub fn kernel(&self, kind: MotifKind) -> &'static dyn MotifKernel {
+        self.kernels[kind as usize]
+    }
+
+    /// All registered kernels, in [`MotifKind::ALL`] order.
+    pub fn kernels(&self) -> impl Iterator<Item = &'static dyn MotifKernel> + '_ {
+        self.kernels.iter().copied()
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the registry is empty (it never is; `clippy` insists the
+    /// method exists alongside [`MotifRegistry::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpb_datagen::descriptor::{DataClass, Distribution};
+
+    /// The satellite exhaustiveness gate: every `MotifKind` variant must
+    /// resolve to a kernel whose `kind()` round-trips.  (The `match` in
+    /// [`kernel_for`] already makes a *missing* registration a compile
+    /// error; this test additionally catches a mis-wired one.)
+    #[test]
+    fn registry_covers_every_motif_kind() {
+        let registry = MotifRegistry::global();
+        assert_eq!(registry.len(), MotifKind::ALL.len());
+        assert!(!registry.is_empty());
+        for kind in MotifKind::ALL {
+            assert_eq!(
+                registry.kernel(kind).kind(),
+                kind,
+                "registry entry for {kind} resolves to the wrong kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn every_kernel_executes_deterministically() {
+        let registry = MotifRegistry::global();
+        let pool = BufferPool::new();
+        for kernel in registry.kernels() {
+            let a = kernel.execute(128, 3, &pool);
+            let b = kernel.execute(128, 3, &pool);
+            assert_eq!(a, b, "{} is not deterministic", kernel.kind());
+        }
+    }
+
+    #[test]
+    fn checksums_do_not_depend_on_pool_reuse() {
+        let registry = MotifRegistry::global();
+        for kind in MotifKind::ALL {
+            let fresh = registry.kernel(kind).execute(200, 9, &BufferPool::new());
+            let warm_pool = BufferPool::new();
+            // Dirty the pool with other kernels first.
+            for other in MotifKind::ALL {
+                registry.kernel(other).execute(64, 1, &warm_pool);
+            }
+            let warm = registry.kernel(kind).execute(200, 9, &warm_pool);
+            assert_eq!(fresh, warm, "{kind} checksum depends on pool state");
+        }
+    }
+
+    #[test]
+    fn kernel_cost_profile_matches_the_analytic_model() {
+        let data = DataDescriptor::new(DataClass::Text, 1 << 30, 100, 0.0, Distribution::Uniform);
+        let config = MotifConfig::big_data_default();
+        let via_kernel = MotifRegistry::global()
+            .kernel(MotifKind::QuickSort)
+            .cost_profile(&data, &config);
+        let via_model = cost::cost_profile(MotifKind::QuickSort, &data, &config);
+        assert_eq!(
+            via_kernel.total_instructions(),
+            via_model.total_instructions()
+        );
+    }
+
+    #[test]
+    fn kernels_share_one_pool_across_kinds() {
+        let registry = MotifRegistry::global();
+        let pool = BufferPool::new();
+        registry
+            .kernel(MotifKind::CountStatistics)
+            .execute(512, 1, &pool);
+        registry.kernel(MotifKind::MinMax).execute(512, 2, &pool);
+        assert!(
+            pool.stats().reused >= 1,
+            "second statistics kernel must recycle the first one's buffer"
+        );
+    }
+}

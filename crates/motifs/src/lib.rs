@@ -24,6 +24,14 @@
 //!   instrument.  This is how motifs are measured at the paper's scale
 //!   (100 GB inputs) without materialising the data.
 //!
+//! Both faces are unified behind the [`kernel::MotifKernel`] trait: the
+//! [`kernel::MotifRegistry`] holds one kernel object per [`MotifKind`],
+//! exposing `cost_profile(...)` and `execute(...)` over a shared
+//! intermediate-buffer pool ([`pool::BufferPool`]).  Downstream crates
+//! dispatch through the registry instead of per-kind `match` blocks, and
+//! workload models declare fork/join structure with a
+//! [`topology::DagPlan`].
+//!
 //! The big-data implementations follow the paper's description of the
 //! execution model: input is split into chunks, each chunk is handed to a
 //! worker task ([`threading`]), and allocation goes through a unified
@@ -38,8 +46,14 @@ pub mod bigdata;
 pub mod class;
 pub mod config;
 pub mod cost;
+pub mod kernel;
 pub mod memory;
+pub mod pool;
 pub mod threading;
+pub mod topology;
 
 pub use class::{MotifClass, MotifKind};
 pub use config::MotifConfig;
+pub use kernel::{MotifKernel, MotifRegistry};
+pub use pool::BufferPool;
+pub use topology::{DagPlan, PlanEdge};

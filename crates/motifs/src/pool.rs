@@ -1,0 +1,174 @@
+//! A shared pool of intermediate buffers for motif-kernel execution.
+//!
+//! Every motif kernel materialises one or more scratch vectors (generated
+//! keys, signal samples, activation tensors…) per invocation.  When a DAG
+//! executor runs dozens of kernels per proxy — and eight proxies per suite
+//! run — those allocations dominate the allocator traffic of sample
+//! execution.  [`BufferPool`] recycles the backing storage: a kernel leases
+//! a buffer of the length it needs, and the allocation is returned to the
+//! pool when the lease is dropped.
+//!
+//! Determinism: a leased buffer is always resized to the requested length
+//! and zero-filled before it is handed out, so a kernel observes the same
+//! contents whether its buffer is fresh or recycled.  Pool state therefore
+//! never leaks into kernel checksums.
+//!
+//! The pool is thread-safe (the DAG executor leases buffers from several
+//! scoped worker threads at once) and cheap to share: each element type has
+//! its own free list behind a mutex that is only held for the push/pop.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A free list of `Vec<T>` allocations plus reuse counters.
+#[derive(Debug, Default)]
+struct FreeList<T> {
+    free: Mutex<Vec<Vec<T>>>,
+    reused: AtomicU64,
+    allocated: AtomicU64,
+}
+
+impl<T: Default + Clone> FreeList<T> {
+    fn take(&self, len: usize) -> Vec<T> {
+        let recycled = self.free.lock().expect("buffer pool poisoned").pop();
+        let mut vec = match recycled {
+            Some(vec) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                vec
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(len)
+            }
+        };
+        vec.clear();
+        vec.resize(len, T::default());
+        vec
+    }
+
+    fn put_back(&self, vec: Vec<T>) {
+        self.free.lock().expect("buffer pool poisoned").push(vec);
+    }
+}
+
+/// Counters describing how effectively a [`BufferPool`] recycles storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Leases served by recycling a previously returned allocation.
+    pub reused: u64,
+    /// Leases that had to allocate fresh storage.
+    pub allocated: u64,
+}
+
+impl PoolStats {
+    /// Total leases served.
+    pub fn leases(&self) -> u64 {
+        self.reused + self.allocated
+    }
+}
+
+/// A thread-safe pool of scratch buffers shared by all motif kernels of an
+/// execution (see the [module documentation](self)).
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    f64s: FreeList<f64>,
+    f32s: FreeList<f32>,
+}
+
+/// A leased buffer; dereferences to its `Vec` and returns the allocation
+/// to the pool on drop.
+#[derive(Debug)]
+pub struct Lease<'p, T: Default + Clone> {
+    vec: Vec<T>,
+    list: &'p FreeList<T>,
+}
+
+impl<T: Default + Clone> Deref for Lease<'_, T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.vec
+    }
+}
+
+impl<T: Default + Clone> DerefMut for Lease<'_, T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.vec
+    }
+}
+
+impl<T: Default + Clone> Drop for Lease<'_, T> {
+    fn drop(&mut self) {
+        self.list.put_back(std::mem::take(&mut self.vec));
+    }
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leases a zero-filled `f64` buffer of length `len`.
+    pub fn f64s(&self, len: usize) -> Lease<'_, f64> {
+        Lease {
+            vec: self.f64s.take(len),
+            list: &self.f64s,
+        }
+    }
+
+    /// Leases a zero-filled `f32` buffer of length `len`.
+    pub fn f32s(&self, len: usize) -> Lease<'_, f32> {
+        Lease {
+            vec: self.f32s.take(len),
+            list: &self.f32s,
+        }
+    }
+
+    /// Snapshot of the reuse counters, aggregated over all element types.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            reused: self.f64s.reused.load(Ordering::Relaxed)
+                + self.f32s.reused.load(Ordering::Relaxed),
+            allocated: self.f64s.allocated.load(Ordering::Relaxed)
+                + self.f32s.allocated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_are_zero_filled_even_when_recycled() {
+        let pool = BufferPool::new();
+        {
+            let mut a = pool.f64s(8);
+            a.iter_mut().for_each(|v| *v = 42.0);
+        }
+        let b = pool.f64s(16);
+        assert_eq!(b.len(), 16);
+        assert!(b.iter().all(|&v| v == 0.0), "recycled buffer leaked state");
+    }
+
+    #[test]
+    fn returned_buffers_are_reused() {
+        let pool = BufferPool::new();
+        drop(pool.f32s(32));
+        drop(pool.f32s(64));
+        let stats = pool.stats();
+        assert_eq!(stats.allocated, 1, "second lease must recycle the first");
+        assert_eq!(stats.reused, 1);
+        assert_eq!(stats.leases(), 2);
+    }
+
+    #[test]
+    fn concurrent_leases_get_distinct_buffers() {
+        let pool = BufferPool::new();
+        let a = pool.f64s(4);
+        let b = pool.f64s(4);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        assert_eq!(pool.stats().allocated, 2);
+    }
+}

@@ -3,7 +3,7 @@
 //! The paper's big-data motif implementations use the POSIX-threads model:
 //! input data is partitioned, each thread processes its chunk, intermediate
 //! results may be written to disk, and a final step combines the partial
-//! results.  [`ChunkedExecutor`] reproduces that shape with scoped threads:
+//! results.  [`map_chunks`] reproduces that shape with scoped threads:
 //! the caller supplies a per-chunk map function and a combine function.
 
 /// Runs `map` over equal chunks of `items` on `num_tasks` worker threads

@@ -10,7 +10,7 @@
 //!   same L1/L2 sizes, 15 MB L3, wider issue, better branch prediction and
 //!   higher memory bandwidth.
 //!
-//! [`NodeConfig`] and [`ClusterSpec`]-style scaling live with the workload
+//! [`NodeConfig`] and `ClusterConfig`-style scaling live with the workload
 //! models; here we only describe a node's processor and its memory / disk
 //! capabilities as needed by the performance model.
 

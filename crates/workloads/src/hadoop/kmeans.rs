@@ -9,7 +9,7 @@
 //! parameter of this model.
 
 use dmpb_datagen::DataDescriptor;
-use dmpb_motifs::{MotifClass, MotifConfig, MotifKind};
+use dmpb_motifs::{DagPlan, MotifClass, MotifConfig, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 
 use crate::cluster::ClusterConfig;
@@ -149,6 +149,25 @@ impl Workload for KMeans {
             MotifKind::CountStatistics,
             MotifKind::MinMax,
         ]
+    }
+
+    /// One K-means iteration forks after the distance-based assignment:
+    /// the combiner sorts records by cluster id while the partial sums are
+    /// accumulated, and both join at the reducer that recomputes the
+    /// centroids and checks movement extents.
+    fn dag_plan(&self) -> DagPlan {
+        let mut b = DagPlan::builder();
+        let input = b.node("points");
+        let assign = b.node("assignments");
+        let sorted = b.node("sorted-by-cluster");
+        let partials = b.node("partial-sums");
+        let centroids = b.node("centroids");
+        b.edge(input, assign, MotifKind::DistanceCalculation);
+        b.edge(assign, sorted, MotifKind::QuickSort);
+        b.edge(assign, partials, MotifKind::CountStatistics);
+        b.edge(sorted, centroids, MotifKind::MergeSort);
+        b.edge(partials, centroids, MotifKind::MinMax);
+        b.build()
     }
 
     fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile {

@@ -9,7 +9,7 @@
 
 use dmpb_datagen::graph::GraphSpec;
 use dmpb_datagen::DataDescriptor;
-use dmpb_motifs::{MotifClass, MotifConfig, MotifKind};
+use dmpb_motifs::{DagPlan, MotifClass, MotifConfig, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 
 use crate::cluster::ClusterConfig;
@@ -108,6 +108,27 @@ impl Workload for PageRank {
             MotifKind::MinMax,
             MotifKind::CountStatistics,
         ]
+    }
+
+    /// PageRank forks on the adjacency structure: the rank-contribution
+    /// matrix product and the frontier traversal read it concurrently and
+    /// join at the rank aggregation (dangling-node mass is folded in by
+    /// the min-max clamp); the final ranks are sorted for output.
+    fn dag_plan(&self) -> DagPlan {
+        let mut b = DagPlan::builder();
+        let input = b.node("edge-list");
+        let adjacency = b.node("adjacency");
+        let contribs = b.node("contributions");
+        let frontier = b.node("frontier");
+        let ranks = b.node("ranks");
+        let output = b.node("top-ranks");
+        b.edge(input, adjacency, MotifKind::GraphConstruct);
+        b.edge(adjacency, contribs, MotifKind::MatrixMultiply);
+        b.edge(adjacency, frontier, MotifKind::GraphTraversal);
+        b.edge(contribs, ranks, MotifKind::CountStatistics);
+        b.edge(frontier, ranks, MotifKind::MinMax);
+        b.edge(ranks, output, MotifKind::QuickSort);
+        b.build()
     }
 
     fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile {

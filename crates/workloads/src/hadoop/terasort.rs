@@ -9,7 +9,7 @@
 
 use dmpb_datagen::text::TextGenerator;
 use dmpb_datagen::DataDescriptor;
-use dmpb_motifs::{MotifClass, MotifConfig, MotifKind};
+use dmpb_motifs::{DagPlan, MotifClass, MotifConfig, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 
 use crate::cluster::ClusterConfig;
@@ -106,6 +106,27 @@ impl Workload for TeraSort {
             MotifKind::GraphConstruct,
             MotifKind::GraphTraversal,
         ]
+    }
+
+    /// TeraSort's map phase forks: the partition sampler inspects the
+    /// input concurrently with the map-side chunk sort, and the resulting
+    /// partition trie joins the sorted runs at the shuffle (each record is
+    /// routed by a trie lookup).  The reducers then merge the runs.
+    fn dag_plan(&self) -> DagPlan {
+        let mut b = DagPlan::builder();
+        let input = b.node("input");
+        let samples = b.node("samples");
+        let splitters = b.node("splitters");
+        let trie = b.node("partition-trie");
+        let runs = b.node("sorted-runs");
+        let output = b.node("output");
+        b.edge(input, samples, MotifKind::RandomSampling);
+        b.edge(samples, splitters, MotifKind::IntervalSampling);
+        b.edge(splitters, trie, MotifKind::GraphConstruct);
+        b.edge(input, runs, MotifKind::QuickSort);
+        b.edge(trie, runs, MotifKind::GraphTraversal);
+        b.edge(runs, output, MotifKind::MergeSort);
+        b.build()
     }
 
     fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile {

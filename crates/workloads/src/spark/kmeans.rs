@@ -11,7 +11,7 @@
 //! MLlib's primitive-array math instead of Mahout's boxed vector objects.
 
 use dmpb_datagen::DataDescriptor;
-use dmpb_motifs::{MotifClass, MotifConfig, MotifKind};
+use dmpb_motifs::{DagPlan, MotifClass, MotifConfig, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 
 use crate::cluster::ClusterConfig;
@@ -127,6 +127,26 @@ impl Workload for SparkKMeans {
 
     fn involved_motifs(&self) -> Vec<MotifKind> {
         KMeans::paper_configuration().involved_motifs()
+    }
+
+    /// Spark K-means assigns points from the cached RDD, then
+    /// `treeAggregate`s: per-partition sum and extent accumulators are
+    /// computed in parallel branches and joined at the driver, where the
+    /// merged partials yield the new centroids.  Same motifs as the Hadoop
+    /// twin, Spark's aggregation shape.
+    fn dag_plan(&self) -> DagPlan {
+        let mut b = DagPlan::builder();
+        let cached = b.node("cached-points");
+        let assign = b.node("assignments");
+        let sums = b.node("partial-sums");
+        let extents = b.node("partial-extents");
+        let centroids = b.node("centroids");
+        b.edge(cached, assign, MotifKind::DistanceCalculation);
+        b.edge(assign, sums, MotifKind::CountStatistics);
+        b.edge(assign, extents, MotifKind::MinMax);
+        b.edge(sums, centroids, MotifKind::MergeSort);
+        b.edge(extents, centroids, MotifKind::QuickSort);
+        b.build()
     }
 
     fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile {

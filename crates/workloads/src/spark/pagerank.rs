@@ -11,7 +11,7 @@
 //! serde boundary.
 
 use dmpb_datagen::DataDescriptor;
-use dmpb_motifs::{MotifClass, MotifConfig, MotifKind};
+use dmpb_motifs::{DagPlan, MotifClass, MotifConfig, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 
 use crate::cluster::ClusterConfig;
@@ -125,6 +125,29 @@ impl Workload for SparkPageRank {
 
     fn involved_motifs(&self) -> Vec<MotifKind> {
         PageRank::paper_configuration().involved_motifs()
+    }
+
+    /// Spark PageRank caches the links RDD and forks on it every
+    /// iteration: the rank-link join (a wide dependency) and the
+    /// contribution flatMap read the same cached lineage and join at the
+    /// `reduceByKey` rank aggregation (with the damping clamp); the final
+    /// ranks are sorted for output.  Same motifs as the Hadoop twin,
+    /// Spark's lineage shape.
+    fn dag_plan(&self) -> DagPlan {
+        let mut b = DagPlan::builder();
+        let input = b.node("edge-list");
+        let links = b.node("links-rdd");
+        let joined = b.node("rank-link-join");
+        let contribs = b.node("contributions");
+        let ranks = b.node("ranks-rdd");
+        let output = b.node("top-ranks");
+        b.edge(input, links, MotifKind::GraphConstruct);
+        b.edge(links, joined, MotifKind::GraphTraversal);
+        b.edge(links, contribs, MotifKind::MatrixMultiply);
+        b.edge(joined, ranks, MotifKind::CountStatistics);
+        b.edge(contribs, ranks, MotifKind::MinMax);
+        b.edge(ranks, output, MotifKind::QuickSort);
+        b.build()
     }
 
     fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile {

@@ -11,7 +11,7 @@
 
 use dmpb_datagen::text::TextGenerator;
 use dmpb_datagen::DataDescriptor;
-use dmpb_motifs::{MotifClass, MotifConfig, MotifKind};
+use dmpb_motifs::{DagPlan, MotifClass, MotifConfig, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 
 use crate::cluster::ClusterConfig;
@@ -108,6 +108,29 @@ impl Workload for SparkTeraSort {
 
     fn involved_motifs(&self) -> Vec<MotifKind> {
         TeraSort::paper_configuration().involved_motifs()
+    }
+
+    /// Spark's `sortByKey` is one wide dependency: the `RangePartitioner`
+    /// sample job forks off the shuffle-block map build, both feed the
+    /// wide shuffle (fetches are routed through the range bounds, blocks
+    /// are partition-sorted map-side), and the post-shuffle partitions are
+    /// merged into the output.  Same motifs as the Hadoop twin, Spark's
+    /// lineage shape.
+    fn dag_plan(&self) -> DagPlan {
+        let mut b = DagPlan::builder();
+        let input = b.node("input-rdd");
+        let sampled = b.node("sampled-keys");
+        let bounds = b.node("range-bounds");
+        let blocks = b.node("shuffle-blocks");
+        let partitions = b.node("shuffled-partitions");
+        let output = b.node("output");
+        b.edge(input, sampled, MotifKind::RandomSampling);
+        b.edge(sampled, bounds, MotifKind::IntervalSampling);
+        b.edge(input, blocks, MotifKind::GraphConstruct);
+        b.edge(bounds, partitions, MotifKind::GraphTraversal);
+        b.edge(blocks, partitions, MotifKind::QuickSort);
+        b.edge(partitions, output, MotifKind::MergeSort);
+        b.build()
     }
 
     fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile {

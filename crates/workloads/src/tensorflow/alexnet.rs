@@ -12,7 +12,7 @@
 use dmpb_datagen::image::ImageGenerator;
 use dmpb_datagen::image::TensorShape;
 use dmpb_datagen::DataDescriptor;
-use dmpb_motifs::{MotifClass, MotifKind};
+use dmpb_motifs::{DagPlan, MotifClass, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 
 use crate::cluster::ClusterConfig;
@@ -130,6 +130,23 @@ impl Workload for AlexNet {
             MotifKind::MaxPooling,
             MotifKind::BatchNormalization,
         ]
+    }
+
+    /// AlexNet's feature maps fork (mirroring the original two-GPU tower
+    /// split): max pooling feeds the classifier while the local-response
+    /// normalisation branch conditions the activations.
+    fn dag_plan(&self) -> DagPlan {
+        let mut b = DagPlan::builder();
+        let batch = b.node("batch");
+        let features = b.node("feature-maps");
+        let pooled = b.node("pooled");
+        let normalised = b.node("normalised");
+        let logits = b.node("logits");
+        b.edge(batch, features, MotifKind::Convolution);
+        b.edge(features, pooled, MotifKind::MaxPooling);
+        b.edge(features, normalised, MotifKind::BatchNormalization);
+        b.edge(pooled, logits, MotifKind::FullyConnected);
+        b.build()
     }
 
     fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile {

@@ -12,7 +12,7 @@
 
 use dmpb_datagen::image::{ImageGenerator, TensorShape};
 use dmpb_datagen::DataDescriptor;
-use dmpb_motifs::{MotifClass, MotifKind};
+use dmpb_motifs::{DagPlan, MotifClass, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 
 use crate::cluster::ClusterConfig;
@@ -187,6 +187,31 @@ impl Workload for InceptionV3 {
             MotifKind::Relu,
             MotifKind::BatchNormalization,
         ]
+    }
+
+    /// An Inception module is the canonical fork/join: the stem's feature
+    /// maps fan out into parallel towers (max-pool tower, average-pool
+    /// tower, and the ReLU path feeding the auxiliary classifier head)
+    /// that join again at the filter concatenation before the classifier.
+    fn dag_plan(&self) -> DagPlan {
+        let mut b = DagPlan::builder();
+        let batch = b.node("batch");
+        let stem = b.node("stem");
+        let max_tower = b.node("tower-max-pool");
+        let avg_tower = b.node("tower-avg-pool");
+        let aux = b.node("aux-head");
+        let concat = b.node("filter-concat");
+        let logits = b.node("logits");
+        let probs = b.node("probabilities");
+        b.edge(batch, stem, MotifKind::Convolution);
+        b.edge(stem, max_tower, MotifKind::MaxPooling);
+        b.edge(stem, avg_tower, MotifKind::AveragePooling);
+        b.edge(stem, aux, MotifKind::Relu);
+        b.edge(max_tower, concat, MotifKind::BatchNormalization);
+        b.edge(avg_tower, concat, MotifKind::Dropout);
+        b.edge(concat, logits, MotifKind::FullyConnected);
+        b.edge(logits, probs, MotifKind::Softmax);
+        b.build()
     }
 
     fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile {

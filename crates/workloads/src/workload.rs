@@ -3,7 +3,7 @@
 
 use dmpb_datagen::DataDescriptor;
 use dmpb_metrics::MetricVector;
-use dmpb_motifs::{MotifClass, MotifKind};
+use dmpb_motifs::{DagPlan, MotifClass, MotifKind};
 use dmpb_perfmodel::profile::OpProfile;
 use dmpb_perfmodel::ExecutionEngine;
 
@@ -197,6 +197,16 @@ pub trait Workload: std::fmt::Debug + Send + Sync {
     /// of Table III).
     fn involved_motifs(&self) -> Vec<MotifKind>;
 
+    /// The fork/join DAG topology the proxy's motif edges should follow,
+    /// mirroring the framework's dataflow structure (TensorFlow parallel
+    /// towers, Spark wide dependencies, MapReduce map/shuffle/reduce
+    /// phases).  Must place exactly the motifs of
+    /// [`Workload::involved_motifs`], each on one edge; the default is a
+    /// straight chain in that order.
+    fn dag_plan(&self) -> DagPlan {
+        DagPlan::chain(&self.involved_motifs())
+    }
+
     /// The per-node operation profile of running this workload on
     /// `cluster`.
     fn per_node_profile(&self, cluster: &ClusterConfig) -> OpProfile;
@@ -328,6 +338,46 @@ mod tests {
     #[test]
     fn paper_five_is_a_prefix_of_all() {
         assert_eq!(&WorkloadKind::ALL[..5], &WorkloadKind::PAPER_FIVE[..]);
+    }
+
+    #[test]
+    fn every_dag_plan_places_exactly_the_involved_motifs() {
+        for w in all_workloads() {
+            let plan = w.dag_plan();
+            assert!(
+                plan.covers_exactly(&w.involved_motifs()),
+                "{}: plan motifs {:?} vs involved {:?}",
+                w.name(),
+                plan.motifs(),
+                w.involved_motifs()
+            );
+        }
+    }
+
+    #[test]
+    fn workload_dags_genuinely_fork_and_join() {
+        // The acceptance bar is ≥ 5 of 8 branching; all eight currently
+        // declare fork/join structure, and the TensorFlow + Spark five are
+        // pinned individually (parallel towers / wide dependencies).
+        let branching = all_workloads()
+            .iter()
+            .filter(|w| w.dag_plan().is_branching())
+            .count();
+        assert!(branching >= 5, "only {branching} of 8 workload DAGs branch");
+        for kind in [
+            WorkloadKind::AlexNet,
+            WorkloadKind::InceptionV3,
+            WorkloadKind::SparkTeraSort,
+            WorkloadKind::SparkKMeans,
+            WorkloadKind::SparkPageRank,
+        ] {
+            let plan = workload_by_kind(kind).dag_plan();
+            assert!(plan.is_branching(), "{kind} DAG must fork or join");
+        }
+        // Joins specifically (≥ 2 incoming) exist in the suite too.
+        assert!(all_workloads()
+            .iter()
+            .any(|w| w.dag_plan().max_in_degree() >= 2));
     }
 
     #[test]

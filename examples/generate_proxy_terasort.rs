@@ -23,7 +23,12 @@ fn main() {
             c.weight
         );
     }
-    println!("\nproxy DAG:\n{}", report.proxy.dag().describe());
+    let dag = report.proxy.dag();
+    println!(
+        "\nproxy DAG ({}):\n{}",
+        report.proxy.plan().shape_summary(),
+        dag.describe()
+    );
     println!("tuned parameters: {:?}", report.proxy.parameters());
     println!("\nreal vs proxy metrics (accuracy per Equation 3):");
     for id in MetricId::TUNABLE {
@@ -45,10 +50,16 @@ fn main() {
     );
     println!("qualified within 15% on every metric: {}", report.qualified);
 
-    // The proxy is also a real program: run its kernels on sample data.
-    let summary = report.proxy.execute_sample(10_000, 7);
+    // The proxy is also a real program: run its DAG's kernels on sample
+    // data, independent branches in parallel.
+    use data_motif_proxy::core::executor::DagExecutor;
+    let executor = DagExecutor::new().with_max_parallel(4);
+    let execution = report.proxy.execute_dag(&executor, 10_000, 7);
     println!(
-        "\nexecuted {} motif kernels for real, checksum {:#x}",
-        summary.kernels_run, summary.checksum
+        "\nexecuted {} motif kernels for real across {} stages (widest {}), checksum {:#x}",
+        execution.kernels_run(),
+        execution.stages,
+        execution.max_stage_width,
+        execution.checksum
     );
 }

@@ -1,6 +1,13 @@
-//! Property-based tests over core data structures and invariants.
+//! Property-based tests over core data structures and invariants, plus the
+//! DAG-executor determinism gate: executing any of the eight workload DAGs
+//! must produce identical digests and checksums across branch-parallelism
+//! settings and across repeated runs.
 
+use data_motif_proxy::core::decompose::decompose;
+use data_motif_proxy::core::executor::DagExecutor;
+use data_motif_proxy::core::features::initial_parameters;
 use data_motif_proxy::core::parameters::{Direction, ParameterId, ProxyParameters};
+use data_motif_proxy::core::ProxyBenchmark;
 use data_motif_proxy::datagen::text::TextGenerator;
 use data_motif_proxy::metrics::accuracy;
 use data_motif_proxy::motifs::bigdata::{set_ops, sort, transform};
@@ -8,8 +15,98 @@ use data_motif_proxy::perfmodel::cache::{Cache, CacheConfig};
 use data_motif_proxy::workloads::framework::spark::AppShape;
 use data_motif_proxy::workloads::spark::{SparkKMeans, SparkPageRank, SparkTeraSort};
 use data_motif_proxy::workloads::workload::Workload;
-use data_motif_proxy::workloads::ClusterConfig;
+use data_motif_proxy::workloads::{all_workloads, workload_by_kind, ClusterConfig, WorkloadKind};
 use proptest::prelude::*;
+
+/// The eight proxies with their initial (untuned) parameters — the cheap
+/// way to exercise every workload DAG without running the auto-tuner.
+fn initial_proxies() -> Vec<ProxyBenchmark> {
+    let cluster = ClusterConfig::five_node_westmere();
+    all_workloads()
+        .iter()
+        .map(|w| {
+            ProxyBenchmark::from_decomposition(
+                &decompose(w.as_ref()),
+                initial_parameters(w.as_ref(), &cluster),
+            )
+        })
+        .collect()
+}
+
+/// Satellite gate: the DAG executor's digest and the `ExecutionSummary`
+/// checksum must be identical across `with_max_parallel(1)` vs
+/// `with_max_parallel(8)` and across repeated runs, for all 8 workloads.
+#[test]
+fn dag_execution_is_identical_across_branch_parallelism_for_all_workloads() {
+    let serial = DagExecutor::new().with_max_parallel(1);
+    let branchy = DagExecutor::new().with_max_parallel(8);
+    for proxy in initial_proxies() {
+        let a = proxy.execute_dag(&serial, 1_000, 17);
+        let b = proxy.execute_dag(&branchy, 1_000, 17);
+        let c = proxy.execute_dag(&branchy, 1_000, 17);
+        assert_eq!(a, b, "{}: parallelism changed the execution", proxy.name());
+        assert_eq!(b, c, "{}: repeated runs differ", proxy.name());
+        assert_eq!(
+            proxy.execute_sample(1_000, 17).checksum,
+            a.checksum,
+            "{}: summary checksum disagrees with the executor",
+            proxy.name()
+        );
+    }
+}
+
+/// Every workload DAG schedules at least one stage with ≥ 2 concurrent
+/// edges when it branches, and the executor covers every component edge.
+#[test]
+fn dag_execution_covers_every_component_and_exposes_branch_width() {
+    let executor = DagExecutor::new().with_max_parallel(4);
+    let mut saw_wide_stage = false;
+    for proxy in initial_proxies() {
+        let run = proxy.execute_dag(&executor, 500, 3);
+        assert_eq!(
+            run.kernels_run(),
+            proxy.components().len(),
+            "{}",
+            proxy.name()
+        );
+        if proxy.plan().is_branching() {
+            assert!(
+                run.max_stage_width >= 2,
+                "{}: branching plan but no concurrent stage",
+                proxy.name()
+            );
+            saw_wide_stage = true;
+        }
+    }
+    assert!(saw_wide_stage, "no workload exposed a parallel stage");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Digest invariance holds for arbitrary seeds and element budgets,
+    /// not just the pinned ones.
+    #[test]
+    fn dag_executor_digest_is_seedwise_parallelism_invariant(
+        seed in 0u64..1_000,
+        elements in 64usize..1_500,
+        workers in 2usize..8,
+    ) {
+        // Spark TeraSort: a genuine fork + join DAG, selected by kind so a
+        // reordering of the suite cannot silently swap the subject.
+        let cluster = ClusterConfig::five_node_westmere();
+        let workload = workload_by_kind(WorkloadKind::SparkTeraSort);
+        let proxy = ProxyBenchmark::from_decomposition(
+            &decompose(workload.as_ref()),
+            initial_parameters(workload.as_ref(), &cluster),
+        );
+        prop_assert!(proxy.plan().is_branching());
+        let serial = proxy.execute_dag(&DagExecutor::new(), elements, seed);
+        let parallel =
+            proxy.execute_dag(&DagExecutor::new().with_max_parallel(workers), elements, seed);
+        prop_assert_eq!(serial, parallel);
+    }
+}
 
 /// An arbitrary-but-valid Spark application shape for property tests.
 fn app_shape(iterations: u32, cached_fraction: f64, wide_shuffle_ratio: f64) -> AppShape {
