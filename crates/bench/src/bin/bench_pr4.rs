@@ -1,0 +1,93 @@
+//! Emits `BENCH_PR4.json` — the first point of the repo's performance
+//! trajectory, produced by the PR 4 work-stealing executor.
+//!
+//! Captured metrics:
+//!
+//! * suite wall time, cold (tuning included) and warm (tuning cached,
+//!   kernels re-executed) through the persistent-pool [`SuiteRunner`];
+//! * buffer-pool reuse ratio of the shared executor after the runs;
+//! * per-workload kernel throughput (elements/second over the proxy's
+//!   DAG execution, averaged over several repetitions);
+//! * worker accounting (hardware parallelism, pool size, total threads
+//!   ever spawned) so a future regression in steady-state spawning shows
+//!   up in the artifact.
+//!
+//! Usage: `bench_pr4 [output-path]` (default `BENCH_PR4.json`).  Future
+//! PRs regress against the committed snapshot and the CI artifact.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dmpb_core::runner::{SuiteRunner, SAMPLE_ELEMENTS};
+use dmpb_motifs::workers::{hardware_parallelism, WorkerPool};
+use dmpb_workloads::ClusterConfig;
+
+/// Repetitions for the per-workload throughput measurement.
+const THROUGHPUT_REPS: u32 = 20;
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+
+    let runner = SuiteRunner::new(ClusterConfig::five_node_westmere())
+        .with_max_parallel(8)
+        .with_intra_parallel(8);
+
+    let cold_start = Instant::now();
+    let report = runner.run_all();
+    let cold_secs = cold_start.elapsed().as_secs_f64();
+
+    let warm_start = Instant::now();
+    let warm_report = runner.run_all();
+    let warm_secs = warm_start.elapsed().as_secs_f64();
+    assert_eq!(report.digest(), warm_report.digest());
+
+    let mut workloads = String::new();
+    for (i, run) in report.runs.iter().enumerate() {
+        let executor = runner.executor();
+        let start = Instant::now();
+        let mut execution = None;
+        for _ in 0..THROUGHPUT_REPS {
+            execution = Some(
+                run.report
+                    .proxy
+                    .execute_dag(executor, SAMPLE_ELEMENTS, run.seed),
+            );
+        }
+        let secs = start.elapsed().as_secs_f64() / f64::from(THROUGHPUT_REPS);
+        let execution = execution.expect("at least one repetition ran");
+        let elements = execution.total_elements();
+        let _ = write!(
+            workloads,
+            "{}\n    {{\"name\": \"{}\", \"kernels\": {}, \"elements\": {}, \"wall_secs\": {:.9}, \"elements_per_sec\": {:.1}, \"checksum\": \"{:016x}\"}}",
+            if i == 0 { "" } else { "," },
+            run.kind,
+            execution.kernels_run(),
+            elements,
+            secs,
+            elements as f64 / secs.max(1e-12),
+            execution.checksum,
+        );
+    }
+
+    let pool = runner.executor().pool().stats();
+    let json = format!(
+        "{{\n  \"pr\": 4,\n  \"suite\": {{\"cold_wall_secs\": {:.6}, \"warm_wall_secs\": {:.6}, \"digest\": \"{:016x}\", \"workloads\": {}}},\n  \"buffer_pool\": {{\"reused\": {}, \"allocated\": {}, \"reuse_ratio\": {:.4}}},\n  \"workers\": {{\"hardware_parallelism\": {}, \"pool_workers\": {}, \"threads_spawned_total\": {}}},\n  \"per_workload\": [{}\n  ]\n}}\n",
+        cold_secs,
+        warm_secs,
+        report.digest(),
+        report.runs.len(),
+        pool.reused,
+        pool.allocated,
+        pool.reuse_ratio(),
+        hardware_parallelism(),
+        runner.worker_pool().workers(),
+        WorkerPool::total_threads_spawned(),
+        workloads,
+    );
+
+    std::fs::write(&output, &json).expect("failed to write the bench report");
+    println!("{json}");
+    eprintln!("wrote {output}");
+}

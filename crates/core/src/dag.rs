@@ -64,6 +64,55 @@ pub struct DagSchedule {
     pub stages: Vec<Vec<usize>>,
 }
 
+/// The barrier-free readiness view of a [`DagSchedule`]: per-edge
+/// predecessor countdowns plus successor lists, the inputs of the
+/// dependency-counting executor.
+///
+/// An edge is runnable the instant every edge *into its source node* has
+/// completed — not when the whole previous stage has (the stage view
+/// over-synchronises: a slow branch in stage `k` has no bearing on a
+/// stage-`k+1` edge hanging off a different, already finished branch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeReadiness {
+    /// `pending[i]` = number of edges that must complete before edge `i`
+    /// may run (the in-degree of edge `i`'s source node).
+    pub pending: Vec<usize>,
+    /// `successors[i]` = indices of the edges leaving edge `i`'s target
+    /// node; each gets its countdown decremented when edge `i` completes.
+    pub successors: Vec<Vec<usize>>,
+    /// Edges with no predecessors (countdown already zero), runnable
+    /// immediately.
+    pub initial: Vec<usize>,
+}
+
+impl DagSchedule {
+    /// Derives the dependency-counting readiness structure over this
+    /// schedule's edge indices (see [`EdgeReadiness`]).
+    pub fn readiness(&self) -> EdgeReadiness {
+        let num_nodes = self
+            .edges
+            .iter()
+            .map(|e| e.from.max(e.to) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut in_degree = vec![0usize; num_nodes];
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+        for (index, edge) in self.edges.iter().enumerate() {
+            in_degree[edge.to] += 1;
+            out_edges[edge.from].push(index);
+        }
+        let pending: Vec<usize> = self.edges.iter().map(|e| in_degree[e.from]).collect();
+        let successors: Vec<Vec<usize>> =
+            self.edges.iter().map(|e| out_edges[e.to].clone()).collect();
+        let initial = (0..self.edges.len()).filter(|&i| pending[i] == 0).collect();
+        EdgeReadiness {
+            pending,
+            successors,
+            initial,
+        }
+    }
+}
+
 impl ProxyDag {
     /// Creates an empty DAG.
     pub fn new() -> Self {
@@ -329,6 +378,42 @@ mod tests {
         assert_eq!(stages[0].len(), 2, "both fork edges run in stage 0");
         assert_eq!(stages[1].len(), 2, "both join edges run in stage 1");
         assert_eq!(dag.node_depths(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn diamond_readiness_counts_predecessors_per_edge() {
+        let schedule = diamond_dag().schedule();
+        let readiness = schedule.readiness();
+        // Fork edges are immediately runnable; each join edge waits for
+        // exactly the one edge into its source node.
+        assert_eq!(readiness.pending, vec![0, 0, 1, 1]);
+        assert_eq!(readiness.initial, vec![0, 1]);
+        assert_eq!(readiness.successors, vec![vec![2], vec![3], vec![], vec![]]);
+    }
+
+    #[test]
+    fn join_edges_wait_for_every_predecessor() {
+        // Two parallel edges into one node, one edge out: the out edge's
+        // countdown must be 2, decremented once per completing in-edge.
+        let mut dag = ProxyDag::new();
+        let a = dag.add_node("a", descriptor());
+        let b = dag.add_node("b", descriptor());
+        let c = dag.add_node("c", descriptor());
+        dag.add_edge(a, b, MotifKind::QuickSort, 0.4);
+        dag.add_edge(a, b, MotifKind::MergeSort, 0.4);
+        dag.add_edge(b, c, MotifKind::MinMax, 0.2);
+        let readiness = dag.schedule().readiness();
+        assert_eq!(readiness.pending, vec![0, 0, 2]);
+        assert_eq!(readiness.successors, vec![vec![2], vec![2], vec![]]);
+        assert_eq!(readiness.initial, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_schedule_has_empty_readiness() {
+        let readiness = ProxyDag::new().schedule().readiness();
+        assert!(readiness.pending.is_empty());
+        assert!(readiness.successors.is_empty());
+        assert!(readiness.initial.is_empty());
     }
 
     #[test]

@@ -1,33 +1,43 @@
-//! Stage-parallel execution of a proxy DAG's real motif kernels.
+//! Barrier-free, work-stealing execution of a proxy DAG's real motif
+//! kernels.
 //!
-//! [`DagExecutor`] walks a [`ProxyDag`] stage by stage (see
-//! [`ProxyDag::stages`]): a stage holds all edges whose source data set is
-//! fully produced, so the edges of one stage are mutually independent and
-//! can run concurrently.  Independent branches — TensorFlow Inception's
-//! parallel towers, Spark wide-dependency fan-outs — therefore execute in
-//! parallel on scoped worker threads, bounded by
-//! [`DagExecutor::with_max_parallel`].
+//! [`DagExecutor`] runs a [`ProxyDag`] with **dependency-counting
+//! edge-level readiness** ([`crate::dag::EdgeReadiness`]): every edge
+//! carries a countdown of the predecessors that must finish before it may
+//! run, and the worker that completes an edge's last predecessor releases
+//! it immediately — onto the persistent work-stealing [`WorkerPool`],
+//! not onto a freshly spawned thread.  Compared with the PR 3 stage-barrier schedule this
+//! removes two costs at once: no stage stalls on its slowest branch (a
+//! TeraSort shuffle edge no longer waits for an unrelated sampler branch),
+//! and steady-state execution performs **zero thread spawns** (workers are
+//! created once per pool and reused across every proxy of a suite).
+//!
+//! The stage-barrier schedule survives as
+//! [`SchedulePolicy::StageBarrier`], so benches can measure the win and
+//! property tests can cross-check the two schedulers edge for edge.
 //!
 //! # Determinism
 //!
-//! The executor's output is byte-identical across thread counts and
-//! scheduling orders:
+//! The executor's output is byte-identical across worker counts, policies
+//! and scheduling orders:
 //!
 //! * every edge's kernel seed is **derived** from the execution seed and
 //!   the edge's *topological index* via [`derive_seed`] — never from the
-//!   thread that happens to run it;
-//! * kernel scratch buffers come from a shared, zero-filling
+//!   worker that happens to run it;
+//! * kernel scratch buffers come from a shared, zero-filling, sharded
 //!   [`BufferPool`], so recycled storage cannot leak state into checksums;
-//! * per-edge checksums are folded in topological-index order after all
-//!   stages complete.
+//! * per-edge checksums are folded in topological-index order after the
+//!   whole DAG completes.
 //!
 //! This is what lets the suite runner expose intra-proxy parallelism as a
 //! pure performance axis: `with_max_parallel(1)` and `with_max_parallel(8)`
 //! produce the same digest.
 
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use dmpb_datagen::rng::derive_seed;
+use dmpb_motifs::workers::{default_parallel_ceiling, Scope, WorkerPool};
 use dmpb_motifs::{BufferPool, MotifKind, MotifRegistry};
 
 use crate::dag::ProxyDag;
@@ -50,7 +60,8 @@ pub struct EdgeRun {
 pub struct DagExecution {
     /// Per-edge results in topological-index order.
     pub edge_runs: Vec<EdgeRun>,
-    /// Number of stages the schedule had.
+    /// Number of stages the depth schedule had (reported for analysis;
+    /// the work-stealing policy does not synchronise on them).
     pub stages: usize,
     /// Widest stage (edges that were eligible to run concurrently).
     pub max_stage_width: usize,
@@ -63,14 +74,37 @@ impl DagExecution {
     pub fn kernels_run(&self) -> usize {
         self.edge_runs.len()
     }
+
+    /// Total elements processed across all edges.
+    pub fn total_elements(&self) -> usize {
+        self.edge_runs.iter().map(|r| r.elements).sum()
+    }
 }
 
-/// Stage-parallel, deterministic executor for proxy DAGs (see the
+/// How a [`DagExecutor`] schedules the independent branches of a DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// The PR 3 scheduler: stages execute in depth order with a barrier
+    /// between them, each stage's branches on freshly spawned scoped
+    /// threads.  Kept for A/B benchmarking and as a differential-testing
+    /// oracle.
+    StageBarrier,
+    /// Dependency-counting edge-level readiness on the persistent
+    /// work-stealing pool: an edge runs the instant its predecessor
+    /// countdown hits zero, and no threads are spawned in steady state.
+    #[default]
+    WorkStealing,
+}
+
+/// Deterministic executor for proxy DAGs (see the
 /// [module documentation](self)).
 #[derive(Debug)]
 pub struct DagExecutor {
     max_parallel: usize,
+    ceiling: usize,
+    policy: SchedulePolicy,
     pool: BufferPool,
+    workers: OnceLock<Arc<WorkerPool>>,
 }
 
 impl Default for DagExecutor {
@@ -83,18 +117,59 @@ impl Default for DagExecutor {
 }
 
 impl DagExecutor {
-    /// A serial executor with a fresh buffer pool.
+    /// A serial executor with a fresh buffer pool.  Serial executors
+    /// create no worker threads at all.
     pub fn new() -> Self {
         Self {
             max_parallel: 1,
+            ceiling: default_parallel_ceiling(),
+            policy: SchedulePolicy::default(),
             pool: BufferPool::new(),
+            workers: OnceLock::new(),
         }
     }
 
-    /// Bounds the number of DAG branches executed concurrently within one
-    /// stage (clamped to `1..=64`).  `1` executes stages serially.
+    /// Bounds the number of DAG branches executed concurrently (clamped to
+    /// `1..=`[`Self::parallel_ceiling`]).  `1` executes the DAG serially
+    /// on the calling thread.  The buffer pool is re-sharded to one shard
+    /// per worker plus one for external threads; a worker pool installed
+    /// via [`Self::with_worker_pool`] is preserved.
     pub fn with_max_parallel(mut self, workers: usize) -> Self {
-        self.max_parallel = workers.clamp(1, 64);
+        self.max_parallel = workers.clamp(1, self.ceiling);
+        let shards = match self.workers.get() {
+            Some(pool) => pool.workers() + 1,
+            None => self.max_parallel + 1,
+        };
+        self.pool = BufferPool::with_shards(shards);
+        self
+    }
+
+    /// Overrides the clamp ceiling applied by [`Self::with_max_parallel`]
+    /// (by default derived from the hardware via
+    /// [`default_parallel_ceiling`]), re-clamping the current setting.
+    pub fn with_parallel_ceiling(mut self, ceiling: usize) -> Self {
+        self.ceiling = ceiling.max(1);
+        self.max_parallel = self.max_parallel.min(self.ceiling);
+        self
+    }
+
+    /// Selects the scheduling policy (work-stealing by default).
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a shared persistent worker pool instead of the lazily
+    /// created private one — how a suite runner makes all eight proxies
+    /// reuse one set of workers.  The buffer pool is re-sharded to match
+    /// the installed pool's worker count (the shared pool may be wider
+    /// than this executor's own `max_parallel`, e.g. when the suite
+    /// runner also fans out across workloads on it).
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = BufferPool::with_shards(pool.workers() + 1);
+        let slot = OnceLock::new();
+        let _ = slot.set(pool);
+        self.workers = slot;
         self
     }
 
@@ -103,10 +178,28 @@ impl DagExecutor {
         self.max_parallel
     }
 
+    /// The ceiling [`Self::with_max_parallel`] clamps against.
+    pub fn parallel_ceiling(&self) -> usize {
+        self.ceiling
+    }
+
+    /// The configured scheduling policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
     /// The shared intermediate-buffer pool kernels lease scratch storage
     /// from.
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// The persistent worker pool, created on first parallel use (sized
+    /// `max_parallel - 1` because the executing thread participates)
+    /// unless one was installed via [`Self::with_worker_pool`].
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        self.workers
+            .get_or_init(|| Arc::new(WorkerPool::new(self.max_parallel.saturating_sub(1))))
     }
 
     /// Executes every motif edge of `dag` on generated sample data.
@@ -118,11 +211,12 @@ impl DagExecutor {
     pub fn execute(&self, dag: &ProxyDag, elements: usize, seed: u64) -> DagExecution {
         // One schedule derivation: the stage indices and the edge vector
         // come from the same `DagSchedule`, so they cannot drift apart.
-        let crate::dag::DagSchedule { edges, stages } = dag.schedule();
+        let schedule = dag.schedule();
         let registry = MotifRegistry::global();
 
         // Pre-compute every edge's work item; indices are topological.
-        let work: Vec<(MotifKind, usize, u64)> = edges
+        let work: Vec<(MotifKind, usize, u64)> = schedule
+            .edges
             .iter()
             .enumerate()
             .map(|(index, edge)| {
@@ -132,26 +226,54 @@ impl DagExecutor {
             .collect();
 
         let mut checksums: Vec<OnceLock<u64>> = Vec::new();
-        checksums.resize_with(edges.len(), OnceLock::new);
+        checksums.resize_with(work.len(), OnceLock::new);
         let run_edge = |index: usize| {
             let (motif, n, edge_seed) = work[index];
             let checksum = registry.kernel(motif).execute(n, edge_seed, &self.pool);
             checksums[index].set(checksum).expect("edge executed twice");
         };
 
-        let max_stage_width = stages.iter().map(Vec::len).max().unwrap_or(0);
-        for stage in &stages {
-            let workers = self.max_parallel.min(stage.len());
-            if workers <= 1 {
-                stage.iter().for_each(|&index| run_edge(index));
-            } else {
-                // Independent branches of this stage on scoped threads.
-                let run_edge = &run_edge;
-                std::thread::scope(|scope| {
-                    for chunk in stage.chunks(stage.len().div_ceil(workers)) {
-                        scope.spawn(move || chunk.iter().for_each(|&index| run_edge(index)));
+        let workers = self.max_parallel.min(work.len().max(1));
+        if workers <= 1 {
+            // Topological index order is a valid serial execution order:
+            // every edge into a node sorts before every edge out of it.
+            (0..work.len()).for_each(&run_edge);
+        } else {
+            match self.policy {
+                SchedulePolicy::StageBarrier => {
+                    for stage in &schedule.stages {
+                        let stage_workers = workers.min(stage.len());
+                        if stage_workers <= 1 {
+                            stage.iter().for_each(|&index| run_edge(index));
+                        } else {
+                            let run_edge = &run_edge;
+                            std::thread::scope(|scope| {
+                                for chunk in stage.chunks(stage.len().div_ceil(stage_workers)) {
+                                    scope.spawn(move || chunk.iter().for_each(|&i| run_edge(i)));
+                                }
+                            });
+                        }
                     }
-                });
+                }
+                SchedulePolicy::WorkStealing => {
+                    let readiness = schedule.readiness();
+                    let pending: Vec<AtomicUsize> = readiness
+                        .pending
+                        .iter()
+                        .map(|&count| AtomicUsize::new(count))
+                        .collect();
+                    let tasks = EdgeTasks {
+                        run_edge: &run_edge,
+                        pending: &pending,
+                        successors: &readiness.successors,
+                    };
+                    self.worker_pool().scope(|scope| {
+                        for &index in &readiness.initial {
+                            let tasks = &tasks;
+                            scope.spawn(move |s| tasks.run(index, s));
+                        }
+                    });
+                }
             }
         }
 
@@ -172,10 +294,31 @@ impl DagExecutor {
         });
 
         DagExecution {
-            stages: stages.len(),
-            max_stage_width,
+            stages: schedule.stages.len(),
+            max_stage_width: schedule.stages.iter().map(Vec::len).max().unwrap_or(0),
             edge_runs,
             checksum,
+        }
+    }
+}
+
+/// The dependency-counting work item: runs one edge, then decrements every
+/// successor's countdown and spawns the ones that hit zero — from the
+/// worker that released them, so a freed branch continues on a warm
+/// thread without any barrier.
+struct EdgeTasks<'a, F: Fn(usize) + Sync> {
+    run_edge: &'a F,
+    pending: &'a [AtomicUsize],
+    successors: &'a [Vec<usize>],
+}
+
+impl<F: Fn(usize) + Sync> EdgeTasks<'_, F> {
+    fn run<'scope>(&'scope self, index: usize, scope: &Scope<'scope>) {
+        (self.run_edge)(index);
+        for &next in &self.successors[index] {
+            if self.pending[next].fetch_sub(1, Ordering::AcqRel) == 1 {
+                scope.spawn(move |s| self.run(next, s));
+            }
         }
     }
 }
@@ -184,6 +327,7 @@ impl DagExecutor {
 mod tests {
     use super::*;
     use dmpb_datagen::{DataClass, DataDescriptor, Distribution};
+    use dmpb_motifs::workers::hardware_parallelism;
 
     fn descriptor() -> DataDescriptor {
         DataDescriptor::new(DataClass::Text, 1 << 20, 100, 0.0, Distribution::Uniform)
@@ -209,6 +353,10 @@ mod tests {
         assert_eq!(run.stages, 2);
         assert_eq!(run.max_stage_width, 2);
         assert!(run.edge_runs.iter().all(|r| r.elements >= 16));
+        assert_eq!(
+            run.total_elements(),
+            run.edge_runs.iter().map(|r| r.elements).sum::<usize>()
+        );
     }
 
     #[test]
@@ -221,6 +369,22 @@ mod tests {
         let c = parallel.execute(&dag, 2_000, 42);
         assert_eq!(a, b, "parallelism must not change the execution");
         assert_eq!(b, c, "repeated runs must be identical");
+    }
+
+    #[test]
+    fn both_policies_produce_identical_executions() {
+        let dag = diamond();
+        let stealing = DagExecutor::new().with_max_parallel(8);
+        let barrier = DagExecutor::new()
+            .with_policy(SchedulePolicy::StageBarrier)
+            .with_max_parallel(8);
+        assert_eq!(stealing.policy(), SchedulePolicy::WorkStealing);
+        assert_eq!(barrier.policy(), SchedulePolicy::StageBarrier);
+        assert_eq!(
+            stealing.execute(&dag, 2_000, 42),
+            barrier.execute(&dag, 2_000, 42),
+            "scheduling policy must be a pure performance axis"
+        );
     }
 
     #[test]
@@ -256,11 +420,70 @@ mod tests {
     }
 
     #[test]
-    fn max_parallel_is_clamped() {
+    fn repeated_parallel_executions_spawn_no_new_threads() {
+        let executor = DagExecutor::new().with_max_parallel(4);
+        let dag = diamond();
+        executor.execute(&dag, 512, 1);
+        let pool = Arc::clone(executor.worker_pool());
+        assert_eq!(pool.workers(), 3, "caller participates: n - 1 workers");
+        for _ in 0..5 {
+            executor.execute(&dag, 512, 1);
+        }
+        assert!(Arc::ptr_eq(&pool, executor.worker_pool()));
+        assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn a_shared_worker_pool_is_adopted_regardless_of_builder_order() {
+        let shared = Arc::new(WorkerPool::new(2));
+        let executor = DagExecutor::new()
+            .with_worker_pool(Arc::clone(&shared))
+            .with_parallel_ceiling(16)
+            .with_max_parallel(8);
+        // Later builder calls must not drop the installed pool, and the
+        // buffer pool stays sharded for the installed pool's workers.
+        assert!(Arc::ptr_eq(&shared, executor.worker_pool()));
+        assert_eq!(executor.pool().shards(), shared.workers() + 1);
+    }
+
+    #[test]
+    fn max_parallel_is_clamped_to_the_derived_ceiling() {
         assert_eq!(DagExecutor::new().with_max_parallel(0).max_parallel(), 1);
         assert_eq!(
-            DagExecutor::new().with_max_parallel(1_000).max_parallel(),
-            64
+            DagExecutor::new()
+                .with_max_parallel(usize::MAX)
+                .max_parallel(),
+            default_parallel_ceiling()
+        );
+        assert_eq!(
+            DagExecutor::new().parallel_ceiling(),
+            default_parallel_ceiling()
+        );
+        assert!(default_parallel_ceiling() >= hardware_parallelism());
+        assert!(
+            default_parallel_ceiling() >= 8,
+            "the 8-worker determinism gates must stay meaningful"
+        );
+    }
+
+    #[test]
+    fn explicit_ceiling_overrides_the_derived_default() {
+        let executor = DagExecutor::new()
+            .with_parallel_ceiling(3)
+            .with_max_parallel(100);
+        assert_eq!(executor.max_parallel(), 3);
+        // Applying the ceiling after the request re-clamps it.
+        let reclamped = DagExecutor::new()
+            .with_max_parallel(8)
+            .with_parallel_ceiling(2);
+        assert_eq!(reclamped.max_parallel(), 2);
+        assert_eq!(reclamped.parallel_ceiling(), 2);
+        // A zero ceiling is lifted to the serial minimum.
+        assert_eq!(
+            DagExecutor::new()
+                .with_parallel_ceiling(0)
+                .parallel_ceiling(),
+            1
         );
     }
 }

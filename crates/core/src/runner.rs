@@ -5,16 +5,19 @@
 //! decision-tree tuning loops.  [`SuiteRunner`] removes both costs:
 //!
 //! * **Parallelism** — the eight workloads are tuned and executed
-//!   concurrently on scoped worker threads (bounded by
-//!   [`SuiteRunner::with_max_parallel`]), and each proxy's DAG is executed
-//!   by a shared stage-parallel [`DagExecutor`] whose branch concurrency
-//!   is bounded by [`SuiteRunner::with_intra_parallel`].  Every stage of
-//!   the pipeline is deterministic: each proxy's sample execution is
-//!   driven by a seed derived from the runner's base seed and the
-//!   workload's position via [`dmpb_datagen::rng::derive_seed`], and the
-//!   executor derives per-edge seeds from topological indices — so the
-//!   produced [`SuiteReport`] is byte-for-byte identical run to run
-//!   regardless of worker counts and thread scheduling.
+//!   concurrently as tasks on one persistent work-stealing
+//!   [`WorkerPool`] (bounded by [`SuiteRunner::with_max_parallel`]), and
+//!   each proxy's DAG is executed barrier-free by a shared
+//!   [`DagExecutor`] running on the *same* pool, with branch concurrency
+//!   bounded by [`SuiteRunner::with_intra_parallel`].  Workers are
+//!   created once per runner and reused across every proxy and every
+//!   run — steady-state suite execution spawns zero threads.  Every
+//!   stage of the pipeline is deterministic: each proxy's sample
+//!   execution is driven by a seed derived from the runner's base seed
+//!   and the workload's position via [`dmpb_datagen::rng::derive_seed`],
+//!   and the executor derives per-edge seeds from topological indices —
+//!   so the produced [`SuiteReport`] is byte-for-byte identical run to
+//!   run regardless of worker counts and task scheduling.
 //! * **Memoization** — decision-tree tuning results are cached in a
 //!   [`TuningCache`] keyed by (workload, software stack, cluster
 //!   configuration, tuner configuration).  Repeated runs against the same
@@ -38,11 +41,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::fnv::hash_bytes;
 use dmpb_datagen::rng::derive_seed;
 use dmpb_metrics::table::{fmt_percent, fmt_speedup, TextTable};
+use dmpb_motifs::workers::WorkerPool;
 use dmpb_workloads::{ClusterConfig, Framework, WorkloadKind};
 
 use crate::executor::DagExecutor;
@@ -280,7 +284,9 @@ pub struct SuiteRunner {
     generator: ProxyGenerator,
     base_seed: u64,
     max_parallel: usize,
-    executor: DagExecutor,
+    intra_parallel: usize,
+    workers: OnceLock<Arc<WorkerPool>>,
+    executor: OnceLock<DagExecutor>,
     cache: TuningCache,
 }
 
@@ -297,7 +303,9 @@ impl SuiteRunner {
             generator,
             base_seed: 0x00D4_17A4_0F1F,
             max_parallel: WorkloadKind::ALL.len(),
-            executor: DagExecutor::new(),
+            intra_parallel: 1,
+            workers: OnceLock::new(),
+            executor: OnceLock::new(),
             cache: TuningCache::new(),
         }
     }
@@ -313,6 +321,8 @@ impl SuiteRunner {
     /// `1..=8`).
     pub fn with_max_parallel(mut self, workers: usize) -> Self {
         self.max_parallel = workers.clamp(1, WorkloadKind::ALL.len());
+        self.workers = OnceLock::new();
+        self.executor = OnceLock::new();
         self
     }
 
@@ -322,14 +332,35 @@ impl SuiteRunner {
     /// from topological indices, so the report digest is identical for any
     /// setting.
     pub fn with_intra_parallel(mut self, workers: usize) -> Self {
-        self.executor = DagExecutor::new().with_max_parallel(workers);
+        self.intra_parallel = workers.max(1);
+        self.workers = OnceLock::new();
+        self.executor = OnceLock::new();
         self
     }
 
-    /// The stage-parallel DAG executor shared by every proxy of the suite
-    /// (one intermediate-buffer pool across all sample executions).
+    /// The persistent work-stealing worker pool shared by the whole
+    /// suite: the per-workload fan-out and every proxy's intra-DAG
+    /// branches all run on these workers.  Created once, on first use,
+    /// sized `max(inter, intra) - 1` (the calling thread participates);
+    /// repeated runs reuse it, so steady-state execution spawns no
+    /// threads.
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        self.workers.get_or_init(|| {
+            Arc::new(WorkerPool::new(
+                self.max_parallel.max(self.intra_parallel).saturating_sub(1),
+            ))
+        })
+    }
+
+    /// The work-stealing DAG executor shared by every proxy of the suite:
+    /// one intermediate-buffer pool across all sample executions, running
+    /// on the runner's shared [`Self::worker_pool`].
     pub fn executor(&self) -> &DagExecutor {
-        &self.executor
+        self.executor.get_or_init(|| {
+            DagExecutor::new()
+                .with_max_parallel(self.intra_parallel)
+                .with_worker_pool(Arc::clone(self.worker_pool()))
+        })
     }
 
     /// The generator driving decomposition and tuning.
@@ -370,7 +401,7 @@ impl SuiteRunner {
         let report = self.tuned_report(kind);
         let seed = derive_seed(self.base_seed, index as u64);
         let execution = ExecutionSummary::from(&report.proxy.execute_dag(
-            &self.executor,
+            self.executor(),
             SAMPLE_ELEMENTS,
             seed,
         ));
@@ -382,26 +413,44 @@ impl SuiteRunner {
         }
     }
 
-    /// Maps every workload through `work` on up to `max_parallel` scoped
-    /// worker threads, returning results in [`WorkloadKind::ALL`] order.
+    /// Maps every workload through `work` on the persistent shared worker
+    /// pool, returning results in [`WorkloadKind::ALL`] order.  No threads
+    /// are spawned here: at most `max_parallel` cursor-draining tasks are
+    /// submitted (so the inter-workload concurrency bound holds even when
+    /// the pool is sized for a wider `intra_parallel`), and the calling
+    /// thread helps execute tasks while it waits.
     fn map_kinds<T: Send + Sync>(&self, work: impl Fn(usize, WorkloadKind) -> T + Sync) -> Vec<T> {
         let kinds = WorkloadKind::ALL;
         let slots: Vec<OnceLock<T>> = kinds.iter().map(|_| OnceLock::new()).collect();
-        let cursor = AtomicUsize::new(0);
         let workers = self.max_parallel.clamp(1, kinds.len());
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= kinds.len() {
-                        break;
-                    }
-                    let result = work(index, kinds[index]);
-                    assert!(slots[index].set(result).is_ok(), "suite slot filled twice");
-                });
+        if workers <= 1 {
+            for (index, &kind) in kinds.iter().enumerate() {
+                assert!(
+                    slots[index].set(work(index, kind)).is_ok(),
+                    "suite slot filled twice"
+                );
             }
-        });
+        } else {
+            let cursor = AtomicUsize::new(0);
+            self.worker_pool().scope(|scope| {
+                for _ in 0..workers {
+                    let work = &work;
+                    let slots = &slots;
+                    let cursor = &cursor;
+                    scope.spawn(move |_| loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= kinds.len() {
+                            break;
+                        }
+                        assert!(
+                            slots[index].set(work(index, kinds[index])).is_ok(),
+                            "suite slot filled twice"
+                        );
+                    });
+                }
+            });
+        }
 
         slots
             .into_iter()

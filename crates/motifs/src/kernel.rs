@@ -9,9 +9,12 @@
 //!   scale without materialising data; and
 //! * [`MotifKernel::execute`] — the real, scaled-down sample kernel, used
 //!   to *run* the motif on generated data and fold its output into a
-//!   checksum.  Scratch storage is leased from a shared [`BufferPool`], so
-//!   a DAG full of kernels recycles allocations instead of re-allocating
-//!   per edge.
+//!   checksum.  Scratch storage is leased from a shared, sharded
+//!   [`BufferPool`] (a pool worker leases through its own shard with
+//!   best-fit reuse; see [`crate::pool`]), so a DAG full of kernels
+//!   recycles allocations instead of re-allocating per edge — without
+//!   contending on a global free-list lock under the work-stealing
+//!   executor.
 //!
 //! The [`MotifRegistry`] maps every [`MotifKind`] to its kernel object.
 //! Registration happens in one exhaustive `match` (`kernel_for`): adding

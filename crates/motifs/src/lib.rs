@@ -51,9 +51,11 @@ pub mod memory;
 pub mod pool;
 pub mod threading;
 pub mod topology;
+pub mod workers;
 
 pub use class::{MotifClass, MotifKind};
 pub use config::MotifConfig;
 pub use kernel::{MotifKernel, MotifRegistry};
 pub use pool::BufferPool;
 pub use topology::{DagPlan, PlanEdge};
+pub use workers::WorkerPool;

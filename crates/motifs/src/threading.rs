@@ -3,22 +3,27 @@
 //! The paper's big-data motif implementations use the POSIX-threads model:
 //! input data is partitioned, each thread processes its chunk, intermediate
 //! results may be written to disk, and a final step combines the partial
-//! results.  [`map_chunks`] reproduces that shape with scoped threads:
-//! the caller supplies a per-chunk map function and a combine function.
+//! results.  [`map_chunks`] reproduces that shape on the process-wide
+//! persistent [`WorkerPool`] — chunks become pool tasks instead of freshly
+//! spawned scoped threads, so repeated motif invocations pay no per-call
+//! thread spawn/join cost.
 
-/// Runs `map` over equal chunks of `items` on `num_tasks` worker threads
-/// and folds the per-chunk results with `combine`.
+use crate::workers::WorkerPool;
+
+/// Runs `map` over equal chunks of `items` as tasks on the shared
+/// [`WorkerPool`] and folds the per-chunk results with `combine`.
 ///
 /// Chunks are assigned contiguously, mirroring how the motif
 /// implementations partition their input ("input data partition, chunk data
 /// allocation per thread").  The fold order is deterministic (chunk order),
-/// so `combine` need not be commutative.
+/// so `combine` need not be commutative, and the result is independent of
+/// how the pool schedules the chunk tasks.
 ///
 /// Returns `None` if `items` is empty.
 ///
 /// # Panics
 ///
-/// Panics if `num_tasks` is zero or a worker thread panics.
+/// Panics if `num_tasks` is zero or a worker task panics.
 pub fn map_chunks<T, R, M, C>(items: &[T], num_tasks: usize, map: M, combine: C) -> Option<R>
 where
     T: Sync,
@@ -32,20 +37,24 @@ where
     }
     let num_tasks = num_tasks.min(items.len());
     let chunk_len = items.len().div_ceil(num_tasks);
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
 
-    let results: Vec<R> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_tasks);
-        for (index, chunk) in items.chunks(chunk_len).enumerate() {
+    // Each task gets its own `&mut` slot, so result publication needs no
+    // locking and no atomics.
+    let mut results: Vec<Option<R>> = chunks.iter().map(|_| None).collect();
+    WorkerPool::global().scope(|scope| {
+        for ((index, &chunk), slot) in chunks.iter().enumerate().zip(results.iter_mut()) {
             let map = &map;
-            handles.push(scope.spawn(move || map(index, chunk)));
+            scope.spawn(move |_| {
+                *slot = Some(map(index, chunk));
+            });
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
     });
 
-    results.into_iter().reduce(combine)
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every chunk task produced a result"))
+        .reduce(combine)
 }
 
 /// Splits `total_items` into per-task chunk sizes of at most

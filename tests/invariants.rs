@@ -3,14 +3,17 @@
 //! must produce identical digests and checksums across branch-parallelism
 //! settings and across repeated runs.
 
+use data_motif_proxy::core::dag::ProxyDag;
 use data_motif_proxy::core::decompose::decompose;
-use data_motif_proxy::core::executor::DagExecutor;
+use data_motif_proxy::core::executor::{DagExecutor, SchedulePolicy};
 use data_motif_proxy::core::features::initial_parameters;
 use data_motif_proxy::core::parameters::{Direction, ParameterId, ProxyParameters};
 use data_motif_proxy::core::ProxyBenchmark;
 use data_motif_proxy::datagen::text::TextGenerator;
+use data_motif_proxy::datagen::{DataClass, DataDescriptor, Distribution};
 use data_motif_proxy::metrics::accuracy;
 use data_motif_proxy::motifs::bigdata::{set_ops, sort, transform};
+use data_motif_proxy::motifs::MotifKind;
 use data_motif_proxy::perfmodel::cache::{Cache, CacheConfig};
 use data_motif_proxy::workloads::framework::spark::AppShape;
 use data_motif_proxy::workloads::spark::{SparkKMeans, SparkPageRank, SparkTeraSort};
@@ -34,24 +37,85 @@ fn initial_proxies() -> Vec<ProxyBenchmark> {
 }
 
 /// Satellite gate: the DAG executor's digest and the `ExecutionSummary`
-/// checksum must be identical across `with_max_parallel(1)` vs
-/// `with_max_parallel(8)` and across repeated runs, for all 8 workloads.
+/// checksum must be identical across `with_max_parallel(1)` vs the
+/// 8-worker work-stealing pool vs the legacy stage-barrier scheduler, and
+/// across repeated runs, for all 8 workloads.
 #[test]
 fn dag_execution_is_identical_across_branch_parallelism_for_all_workloads() {
     let serial = DagExecutor::new().with_max_parallel(1);
     let branchy = DagExecutor::new().with_max_parallel(8);
+    let barrier = DagExecutor::new()
+        .with_policy(SchedulePolicy::StageBarrier)
+        .with_max_parallel(8);
     for proxy in initial_proxies() {
         let a = proxy.execute_dag(&serial, 1_000, 17);
         let b = proxy.execute_dag(&branchy, 1_000, 17);
         let c = proxy.execute_dag(&branchy, 1_000, 17);
+        let d = proxy.execute_dag(&barrier, 1_000, 17);
         assert_eq!(a, b, "{}: parallelism changed the execution", proxy.name());
         assert_eq!(b, c, "{}: repeated runs differ", proxy.name());
+        assert_eq!(b, d, "{}: policies disagree", proxy.name());
         assert_eq!(
             proxy.execute_sample(1_000, 17).checksum,
             a.checksum,
             "{}: summary checksum disagrees with the executor",
             proxy.name()
         );
+    }
+}
+
+/// Builds an arbitrary acyclic DAG from proptest-drawn raw picks: nodes
+/// `0..n`, every edge pointing from a lower to a higher node id (acyclic
+/// by construction, forks/joins/multi-edges all possible).
+fn random_dag(nodes: usize, picks: &[usize]) -> ProxyDag {
+    let descriptor = DataDescriptor::new(DataClass::Text, 1 << 20, 100, 0.0, Distribution::Uniform);
+    let mut dag = ProxyDag::new();
+    for i in 0..nodes {
+        dag.add_node(format!("n{i}"), descriptor);
+    }
+    for &pick in picks {
+        let a = pick % nodes;
+        let b = (pick / nodes) % nodes;
+        if a == b {
+            continue;
+        }
+        let motif = MotifKind::ALL[(pick / (nodes * nodes)) % MotifKind::ALL.len()];
+        let weight = 0.05 + (pick % 13) as f64 * 0.07;
+        dag.add_edge(a.min(b), a.max(b), motif, weight);
+    }
+    if dag.num_edges() == 0 {
+        dag.add_edge(0, 1, MotifKind::MinMax, 1.0);
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite gate: for random acyclic topologies — not just the eight
+    /// curated workload DAGs — serial execution, the 8-worker
+    /// work-stealing scheduler and the legacy stage-barrier scheduler
+    /// must produce byte-identical executions.
+    #[test]
+    fn random_acyclic_dags_execute_identically_across_schedulers(
+        nodes in 2usize..10,
+        picks in prop::collection::vec(0usize..100_000, 1..24),
+        elements in 64usize..800,
+        seed in 0u64..100_000,
+    ) {
+        let dag = random_dag(nodes, &picks);
+        let serial = DagExecutor::new().execute(&dag, elements, seed);
+        let stealing = DagExecutor::new()
+            .with_max_parallel(8)
+            .execute(&dag, elements, seed);
+        let barrier = DagExecutor::new()
+            .with_policy(SchedulePolicy::StageBarrier)
+            .with_max_parallel(8)
+            .execute(&dag, elements, seed);
+        prop_assert_eq!(&serial, &stealing,
+            "work stealing changed the execution:\n{}", dag.describe());
+        prop_assert_eq!(&serial, &barrier,
+            "stage barrier changed the execution:\n{}", dag.describe());
     }
 }
 

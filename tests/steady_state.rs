@@ -1,0 +1,52 @@
+//! The no-spawn-in-steady-state gate: after a suite runner's pools are
+//! constructed, repeated suite runs must not spawn a single thread — the
+//! whole point of the persistent work-stealing pool is that workers are
+//! created once and reused across every proxy of every run.
+//!
+//! This lives in its own integration-test binary with one `#[test]` so
+//! the process-wide [`WorkerPool::total_threads_spawned`] counter cannot
+//! be perturbed by unrelated tests creating pools concurrently.
+
+use std::sync::Arc;
+
+use data_motif_proxy::core::runner::SuiteRunner;
+use data_motif_proxy::motifs::workers::WorkerPool;
+use data_motif_proxy::workloads::ClusterConfig;
+
+#[test]
+fn steady_state_suite_runs_spawn_no_threads() {
+    let runner = SuiteRunner::new(ClusterConfig::five_node_westmere())
+        .with_max_parallel(4)
+        .with_intra_parallel(4);
+
+    // The first run constructs the runner's pool (and, lazily, the global
+    // pool used by chunked motif kernels) and warms the tuning cache.
+    let first = runner.run_all();
+    let pool = Arc::clone(runner.worker_pool());
+    let spawned_after_first = WorkerPool::total_threads_spawned();
+    assert_eq!(
+        pool.workers(),
+        3,
+        "max(inter, intra) - 1 workers: the calling thread participates"
+    );
+
+    for _ in 0..3 {
+        let again = runner.run_all();
+        assert_eq!(
+            first.digest(),
+            again.digest(),
+            "steady-state runs must be byte-identical"
+        );
+    }
+
+    assert_eq!(
+        WorkerPool::total_threads_spawned(),
+        spawned_after_first,
+        "steady-state suite execution spawned a thread"
+    );
+    assert!(
+        Arc::ptr_eq(&pool, runner.worker_pool()),
+        "the runner must keep reusing the same pool"
+    );
+    assert_eq!(pool.workers(), 3, "worker count must stay constant");
+}
