@@ -1,0 +1,72 @@
+//! Emits `BENCH_PR5.json` — the campaign engine's point on the repo's
+//! performance trajectory (alongside `BENCH_PR4.json`).
+//!
+//! Captured metrics:
+//!
+//! * campaign wall time for the bundled `paper-tables` scenario, cold
+//!   (tuning + kernel execution + store writes) and warm (every cell
+//!   served from the content-addressed result store);
+//! * store hit ratio of the warm run and cells/second for both runs;
+//! * the campaign digest, pinned identical across cold and warm so a
+//!   future serialization regression shows up in the artifact.
+//!
+//! Usage: `bench_pr5 [output-path]` (default `BENCH_PR5.json`).  The
+//! result store lives in a scratch file next to the output and is
+//! removed afterwards — the snapshot must always measure a true cold
+//! start.
+
+use std::time::Instant;
+
+use dmpb_metrics::json::ObjectWriter;
+use dmpb_scenario::{builtin, CampaignRunner, ResultStore};
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let store_path = format!("{output}.store-scratch.jsonl");
+    std::fs::remove_file(&store_path).ok();
+
+    let scenario = builtin::paper_tables();
+    let runner = CampaignRunner::with_store(
+        ResultStore::open(&store_path).expect("scratch result store opens"),
+    );
+
+    let cold_start = Instant::now();
+    let cold = runner.run(&scenario);
+    let cold_secs = cold_start.elapsed().as_secs_f64();
+    assert_eq!(cold.cache_hits(), 0, "scratch store must start cold");
+
+    // Re-open the store from disk so the warm run proves the persisted
+    // bytes (not just the in-memory map) reproduce the campaign.
+    let warm_runner = CampaignRunner::with_store(
+        ResultStore::open(&store_path).expect("scratch result store reopens"),
+    );
+    let warm_start = Instant::now();
+    let warm = warm_runner.run(&scenario);
+    let warm_secs = warm_start.elapsed().as_secs_f64();
+    assert_eq!(
+        cold.digest(),
+        warm.digest(),
+        "warm run must be byte-identical"
+    );
+
+    let cells = cold.outcomes.len();
+    let mut w = ObjectWriter::new();
+    w.field_int("pr", 5);
+    w.field_str("scenario", &scenario.name);
+    w.field_int("cells", cells as i64);
+    w.field_f64("cold_wall_secs", cold_secs);
+    w.field_f64("warm_wall_secs", warm_secs);
+    w.field_f64("cold_cells_per_sec", cells as f64 / cold_secs.max(1e-12));
+    w.field_f64("warm_cells_per_sec", cells as f64 / warm_secs.max(1e-12));
+    w.field_f64("warm_hit_ratio", warm.hit_ratio());
+    w.field_f64("warm_speedup", cold_secs / warm_secs.max(1e-12));
+    w.field_u64_hex("campaign_digest", cold.digest());
+    let json = format!("{}\n", w.finish());
+
+    std::fs::remove_file(&store_path).ok();
+    std::fs::write(&output, &json).expect("failed to write the bench report");
+    println!("{json}");
+    eprintln!("wrote {output}");
+}

@@ -1,0 +1,231 @@
+//! The campaign driver: runs a scenario file through the campaign engine,
+//! prints the per-cell table, optionally persists/serves results through
+//! a content-addressed store, and gates on regressions.
+//!
+//! ```text
+//! campaign <scenario.toml> [options]
+//!   --store <path>            persistent result store (JSON lines);
+//!                             re-runs skip already-computed cells
+//!   --baseline <path>         diff this run against a stored report and
+//!                             exit 1 on accuracy regressions / changed
+//!                             or missing cells
+//!   --write-baseline <path>   write this run's cells as a baseline
+//!   --workers <N>             worker-pool width (scenario [executor]
+//!                             wins for its own run)
+//!   --expect-hit-ratio <R>    exit 1 if fewer than R of the cells were
+//!                             served from the store (CI warm-run gate)
+//! ```
+//!
+//! Exit codes: 0 success, 1 gate failure (regression or hit-ratio miss),
+//! 2 usage / file / parse errors.
+
+use std::process::ExitCode;
+
+use dmpb_scenario::{read_records, CampaignRunner, ResultStore, Scenario};
+
+struct Options {
+    scenario_path: String,
+    store: Option<String>,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    workers: Option<usize>,
+    expect_hit_ratio: Option<f64>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: campaign <scenario.toml> [--store <path>] [--baseline <path>] \
+         [--write-baseline <path>] [--workers <N>] [--expect-hit-ratio <R>]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let mut options = Options {
+        scenario_path: String::new(),
+        store: None,
+        baseline: None,
+        write_baseline: None,
+        workers: None,
+        expect_hit_ratio: None,
+    };
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next().ok_or_else(|| {
+                eprintln!("campaign: {flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--store" => options.store = Some(value_for("--store")?),
+            "--baseline" => options.baseline = Some(value_for("--baseline")?),
+            "--write-baseline" => options.write_baseline = Some(value_for("--write-baseline")?),
+            "--workers" => {
+                options.workers = Some(value_for("--workers")?.parse().map_err(|_| {
+                    eprintln!("campaign: --workers needs a positive integer");
+                    usage()
+                })?)
+            }
+            "--expect-hit-ratio" => {
+                let ratio: f64 = value_for("--expect-hit-ratio")?.parse().map_err(|_| {
+                    eprintln!("campaign: --expect-hit-ratio needs a number in [0, 1]");
+                    usage()
+                })?;
+                // NaN fails `contains` too — `hit_ratio() < NaN` is never
+                // true, which would silently disable the gate.
+                if !(0.0..=1.0).contains(&ratio) {
+                    eprintln!("campaign: --expect-hit-ratio needs a number in [0, 1]");
+                    return Err(usage());
+                }
+                options.expect_hit_ratio = Some(ratio);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                eprintln!("campaign: unknown flag `{other}`");
+                return Err(usage());
+            }
+            path if options.scenario_path.is_empty() => options.scenario_path = path.to_string(),
+            _ => return Err(usage()),
+        }
+    }
+    if options.scenario_path.is_empty() {
+        return Err(usage());
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(code) => return code,
+    };
+
+    let source = match std::fs::read_to_string(&options.scenario_path) {
+        Ok(source) => source,
+        Err(e) => {
+            eprintln!("campaign: cannot read {}: {e}", options.scenario_path);
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = match Scenario::parse(&source) {
+        Ok(scenario) => scenario,
+        Err(e) => {
+            eprintln!("campaign: {}: {e}", options.scenario_path);
+            return ExitCode::from(2);
+        }
+    };
+
+    let store = match &options.store {
+        None => ResultStore::in_memory(),
+        Some(path) => match ResultStore::open(path) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("campaign: cannot open store: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let preloaded = store.stats().entries;
+    let mut runner = CampaignRunner::with_store(store);
+    if let Some(workers) = options.workers {
+        runner = runner.with_workers(workers);
+    }
+
+    println!(
+        "campaign `{}`: {}{}",
+        scenario.name,
+        if scenario.description.is_empty() {
+            "(no description)"
+        } else {
+            &scenario.description
+        },
+        match &options.store {
+            Some(path) => format!(" [store: {path}, {preloaded} preloaded]"),
+            None => String::new(),
+        }
+    );
+    let matrix = scenario.matrix_size();
+    let report = runner.run(&scenario);
+    if report.outcomes.is_empty() {
+        eprintln!(
+            "campaign: scenario expanded to zero cells ({matrix} before filters) — nothing to run"
+        );
+        return ExitCode::from(2);
+    }
+    if report.outcomes.len() != matrix {
+        println!(
+            "{} of {} matrix cells kept by include/exclude filters",
+            report.outcomes.len(),
+            matrix
+        );
+    }
+    println!("{}", report.summary_table().render());
+    println!(
+        "result store: {} of {} cells served (hit ratio {:.2}); campaign digest {:016x}",
+        report.cache_hits(),
+        report.outcomes.len(),
+        report.hit_ratio(),
+        report.digest(),
+    );
+
+    let mut failed = false;
+    if let Some(path) = &options.baseline {
+        match read_records(std::path::Path::new(path)) {
+            Ok(baseline) => {
+                let diff = report.diff(&baseline);
+                println!("{}", diff.summary());
+                for (cell, was, now) in &diff.regressed {
+                    println!(
+                        "  REGRESSED {} on {} ({}): accuracy {:.4} -> {:.4}",
+                        cell.workload, cell.cluster, cell.architecture, was, now
+                    );
+                }
+                for (cell, _) in &diff.changed {
+                    println!(
+                        "  CHANGED   {} on {} ({}): result differs from baseline (fingerprint {:016x})",
+                        cell.workload, cell.cluster, cell.architecture, cell.fingerprint
+                    );
+                }
+                for cell in &diff.missing {
+                    println!(
+                        "  MISSING   {} on {} ({}): baseline cell not produced by this run",
+                        cell.workload, cell.cluster, cell.architecture
+                    );
+                }
+                if diff.is_regression() {
+                    eprintln!("campaign: baseline gate failed");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("campaign: cannot read baseline: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(expected) = options.expect_hit_ratio {
+        if report.hit_ratio() < expected {
+            eprintln!(
+                "campaign: hit-ratio gate failed: {:.2} < {expected:.2}",
+                report.hit_ratio()
+            );
+            failed = true;
+        }
+    }
+
+    if let Some(path) = &options.write_baseline {
+        if let Err(e) = std::fs::write(path, report.to_lines()) {
+            eprintln!("campaign: cannot write baseline {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote baseline {path} ({} cells)", report.outcomes.len());
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,13 +1,16 @@
 //! Fig. 10: runtime speedup across Westmere and Haswell processors for the
-//! real workloads and their proxies.
-use dmpb_bench::{fmt_paper_or_dash, generate_suite, paper_value, PAPER_FIG10_SPEEDUP};
+//! real workloads and their proxies, rendered from the
+//! `cross-architecture` campaign: proxies tuned once on the five-node
+//! Westmere cluster, each workload measured under both architecture
+//! overrides of the three-node cluster (the engine owns that sweep; this
+//! binary pairs the two cells per workload and prints the ratios).
+use dmpb_bench::{fmt_paper_or_dash, paper_value, run_campaign, PAPER_FIG10_SPEEDUP};
 use dmpb_metrics::table::TextTable;
-use dmpb_workloads::{workload_by_kind, ClusterConfig};
+use dmpb_scenario::builtin;
+use dmpb_workloads::WorkloadKind;
 
 fn main() {
-    let suite = generate_suite();
-    let westmere = ClusterConfig::three_node_westmere_64gb();
-    let haswell = ClusterConfig::three_node_haswell();
+    let (_, report) = run_campaign(&builtin::cross_architecture());
     let mut t = TextTable::new(
         "Fig. 10 — Runtime speedup across Westmere and Haswell",
         &[
@@ -17,15 +20,20 @@ fn main() {
             "proxy speedup (model)",
         ],
     );
-    for r in suite.reports() {
-        let workload = workload_by_kind(r.kind);
-        let real_speedup =
-            workload.measure(&westmere).runtime_secs / workload.measure(&haswell).runtime_secs;
-        let proxy_speedup = r.proxy.measure(&westmere.node.arch).runtime_secs
-            / r.proxy.measure(&haswell.node.arch).runtime_secs;
+    for kind in WorkloadKind::ALL {
+        let cell_on = |arch: &str| {
+            report
+                .cells()
+                .find(|c| c.workload == kind && c.architecture == arch)
+                .unwrap_or_else(|| panic!("campaign covers {kind} on {arch}"))
+        };
+        let westmere = cell_on("westmere");
+        let haswell = cell_on("haswell");
+        let real_speedup = westmere.cell_real_runtime_secs / haswell.cell_real_runtime_secs;
+        let proxy_speedup = westmere.cell_proxy_runtime_secs / haswell.cell_proxy_runtime_secs;
         t.add_row(&[
-            r.kind.to_string(),
-            fmt_paper_or_dash(paper_value(&PAPER_FIG10_SPEEDUP, r.kind), |v| {
+            kind.to_string(),
+            fmt_paper_or_dash(paper_value(&PAPER_FIG10_SPEEDUP, kind), |v| {
                 format!("{v:.2}x")
             }),
             format!("{real_speedup:.2}x"),

@@ -1,25 +1,31 @@
 //! Fig. 4: system and micro-architectural data accuracy on Xeon E5645,
-//! extended to the full eight-workload suite (the Spark variants have no
-//! paper bars, rendered as an em dash).
-use dmpb_bench::{fmt_paper_or_dash, paper_value, run_suite, PAPER_FIG4_ACCURACY};
+//! rendered from the `paper-tables` campaign (same scenario as Table VI —
+//! the engine deduplicates the sweep; this binary only formats accuracy
+//! columns).  The Spark variants have no paper bars, rendered as an em
+//! dash.
+use dmpb_bench::{fmt_paper_or_dash, paper_value, run_campaign, PAPER_FIG4_ACCURACY};
 use dmpb_metrics::table::{fmt_percent, TextTable};
 use dmpb_metrics::MetricId;
+use dmpb_scenario::builtin;
 use dmpb_workloads::WorkloadKind;
 
 fn main() {
-    let suite = run_suite();
+    let (_, report) = run_campaign(&builtin::paper_tables());
     let mut t = TextTable::new(
         "Fig. 4 — Average data accuracy per workload (Xeon E5645)",
         &["workload", "paper", "measured", "worst metric"],
     );
-    for r in suite.reports() {
-        let (worst, acc) = r.accuracy.worst_metric().unwrap();
-        let paper = paper_value(&PAPER_FIG4_ACCURACY, r.kind);
+    for cell in report.cells() {
+        let paper = paper_value(&PAPER_FIG4_ACCURACY, cell.workload);
         t.add_row(&[
-            r.kind.to_string(),
+            cell.workload.to_string(),
             fmt_paper_or_dash(paper, fmt_percent),
-            fmt_percent(r.accuracy.average()),
-            format!("{worst} ({:.0}%)", acc * 100.0),
+            fmt_percent(cell.accuracy_avg),
+            format!(
+                "{} ({:.0}%)",
+                cell.worst_metric,
+                cell.worst_accuracy * 100.0
+            ),
         ]);
     }
     println!("{}", t.render());
@@ -31,8 +37,8 @@ fn main() {
     let mut d = TextTable::new("Fig. 4 (detail) — per-metric accuracy", &header_refs);
     for id in MetricId::TUNABLE {
         let mut row = vec![id.name().to_string()];
-        for r in suite.reports() {
-            row.push(fmt_percent(r.accuracy.get(id).unwrap_or(1.0)));
+        for cell in report.cells() {
+            row.push(fmt_percent(cell.accuracy_for(id.name()).unwrap_or(1.0)));
         }
         d.add_row(&row);
     }

@@ -1,9 +1,13 @@
 //! Table III: the eight suite workloads and their motif decompositions
 //! (the paper's five plus the Spark stack twins, which reuse their Hadoop
-//! twin's decomposition).
+//! twin's decomposition).  The workload enumeration comes from the
+//! `decomposition` scenario's campaign matrix — the same expansion path
+//! every other paper-table binary uses — and decomposition itself is pure,
+//! so no cells are executed.
 use dmpb_core::decompose::decompose;
 use dmpb_metrics::table::TextTable;
-use dmpb_workloads::all_workloads;
+use dmpb_scenario::builtin;
+use dmpb_workloads::workload_by_kind;
 
 fn main() {
     let mut t = TextTable::new(
@@ -17,7 +21,8 @@ fn main() {
             "DAG shape",
         ],
     );
-    for w in all_workloads() {
+    for cell in builtin::decomposition().expand() {
+        let w = workload_by_kind(cell.kind);
         let d = decompose(w.as_ref());
         let classes = d
             .class_ratios

@@ -1,14 +1,15 @@
 //! Table VI: execution time of real workloads vs proxies on the five-node
-//! Xeon E5645 cluster, driven by the parallel suite runner.  All eight
-//! suite workloads are listed; the three Spark variants have no
+//! Xeon E5645 cluster, rendered from the `paper-tables` campaign (the
+//! scenario engine owns the sweep; this binary only formats rows).  All
+//! eight suite workloads are listed; the three Spark variants have no
 //! paper-reported numbers (the paper evaluates the Hadoop/TensorFlow
 //! five), so their paper columns render as an em dash.
-use dmpb_bench::{fmt_paper_or_dash, suite_runner, PAPER_TABLE6};
+use dmpb_bench::{fmt_paper_or_dash, run_campaign, PAPER_TABLE6};
 use dmpb_metrics::table::{fmt_speedup, TextTable};
+use dmpb_scenario::builtin;
 
 fn main() {
-    let runner = suite_runner();
-    let suite = runner.run_all();
+    let (runner, report) = run_campaign(&builtin::paper_tables());
     let mut t = TextTable::new(
         "Table VI — Execution time on Xeon E5645 (5-node cluster)",
         &[
@@ -21,35 +22,33 @@ fn main() {
             "speedup (model)",
         ],
     );
-    for run in &suite.runs {
-        let r = &run.report;
-        let paper = PAPER_TABLE6.iter().find(|(k, _, _)| *k == run.kind);
+    for cell in report.cells() {
+        let paper = PAPER_TABLE6.iter().find(|(k, _, _)| *k == cell.workload);
         let (paper_real, paper_proxy) = match paper {
             Some(&(_, real, proxy)) => (real, proxy),
             None => (f64::NAN, f64::NAN),
         };
         t.add_row(&[
-            run.kind.to_string(),
+            cell.workload.to_string(),
             fmt_paper_or_dash(paper_real, |v| format!("{v:.0} s")),
             fmt_paper_or_dash(paper_proxy, |v| format!("{v:.2} s")),
-            format!("{:.0} s", r.real_metrics.runtime_secs),
-            format!("{:.2} s", r.proxy_metrics.runtime_secs),
+            format!("{:.0} s", cell.real_runtime_secs),
+            format!("{:.2} s", cell.proxy_runtime_secs),
             fmt_paper_or_dash(paper_real / paper_proxy, fmt_speedup),
-            fmt_speedup(r.speedup),
+            fmt_speedup(cell.speedup),
         ]);
     }
     println!("{}", t.render());
 
-    // A second run against the same cluster is served from the tuning
-    // cache: same report, no re-tuning.
-    let again = runner.run_all();
-    let stats = runner.cache_stats();
-    assert_eq!(suite.digest(), again.digest());
+    // A second campaign run is served entirely from the result store:
+    // same cells, same digest, nothing re-tuned or re-executed.
+    let again = runner.run(&builtin::paper_tables());
+    assert_eq!(report.digest(), again.digest());
     println!(
-        "tuning cache: {} hits / {} misses ({} entries); repeat-run digest {:016x} identical",
-        stats.hits,
-        stats.misses,
-        stats.entries,
+        "result store: {} of {} cells served on re-run (hit ratio {:.2}); repeat-run digest {:016x} identical",
+        again.cache_hits(),
+        again.outcomes.len(),
+        again.hit_ratio(),
         again.digest(),
     );
 }

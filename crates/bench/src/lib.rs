@@ -2,17 +2,23 @@
 //!
 //! One binary per table / figure of the paper's evaluation (see DESIGN.md
 //! for the index), plus Criterion benches over the real motif kernels and
-//! the generated proxies.  This library holds the shared plumbing: suite
-//! generation, table rendering and the paper's reference numbers so every
-//! binary prints "paper vs. measured" side by side.
+//! the generated proxies.  This library holds the shared plumbing: the
+//! scenario-campaign path the paper-table binaries render from, table
+//! rendering, and the paper's reference numbers so every binary prints
+//! "paper vs. measured" side by side.
+//!
+//! The sweep loops themselves live in `dmpb_scenario` — a paper-table
+//! binary declares *which* built-in scenario it renders and how to format
+//! a row, nothing else.
 
 #![warn(missing_docs)]
 
 use dmpb_core::generator::GenerationReport;
 use dmpb_core::runner::SuiteRunner;
-use dmpb_core::{ProxySuite, SuiteReport};
+use dmpb_core::ProxySuite;
 use dmpb_metrics::table::TextTable;
 use dmpb_metrics::MetricId;
+use dmpb_scenario::{CampaignReport, CampaignRunner, Scenario};
 use dmpb_workloads::{ClusterConfig, WorkloadKind};
 
 /// Paper-reported runtimes (seconds) on the five-node Westmere cluster
@@ -68,10 +74,14 @@ pub const PAPER_FIG10_SPEEDUP: [(WorkloadKind, f64); 5] = [
     (WorkloadKind::InceptionV3, 1.3),
 ];
 
-/// Runs the eight-proxy suite in parallel against the Section III
-/// cluster, returning the structured per-workload report.
-pub fn run_suite() -> SuiteReport {
-    suite_runner().run_all()
+/// Runs a built-in scenario through the campaign engine on a fresh
+/// in-memory result store — the one campaign-expansion path every
+/// paper-table binary shares.  Returns the runner too so callers can
+/// re-run (warm) and inspect store statistics.
+pub fn run_campaign(scenario: &Scenario) -> (CampaignRunner, CampaignReport) {
+    let runner = CampaignRunner::new();
+    let report = runner.run(scenario);
+    (runner, report)
 }
 
 /// A parallel suite runner against the Section III cluster; reuse one

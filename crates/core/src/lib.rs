@@ -45,7 +45,7 @@ pub mod decompose;
 pub mod dtree;
 pub mod executor;
 pub mod features;
-mod fnv;
+pub mod fnv;
 pub mod generator;
 pub mod impact;
 pub mod parameters;

@@ -58,6 +58,11 @@ use crate::proxy::ExecutionSummary;
 /// [`crate::proxy::ProxyBenchmark::execute_sample`]).
 pub const SAMPLE_ELEMENTS: usize = 2_000;
 
+/// The default base seed a [`SuiteRunner`] derives its per-proxy sample
+/// seeds from.  Exported so the scenario campaign engine can declare
+/// sweeps that reproduce the default suite byte for byte.
+pub const DEFAULT_BASE_SEED: u64 = 0x00D4_17A4_0F1F;
+
 /// Cache key for one tuning run: the workload and its software stack plus
 /// fingerprints of the cluster and tuner configurations that shaped the
 /// tune.
@@ -301,7 +306,7 @@ impl SuiteRunner {
     pub fn with_generator(generator: ProxyGenerator) -> Self {
         Self {
             generator,
-            base_seed: 0x00D4_17A4_0F1F,
+            base_seed: DEFAULT_BASE_SEED,
             max_parallel: WorkloadKind::ALL.len(),
             intra_parallel: 1,
             workers: OnceLock::new(),
@@ -334,6 +339,18 @@ impl SuiteRunner {
     pub fn with_intra_parallel(mut self, workers: usize) -> Self {
         self.intra_parallel = workers.max(1);
         self.workers = OnceLock::new();
+        self.executor = OnceLock::new();
+        self
+    }
+
+    /// Shares an existing worker pool instead of lazily creating one, so
+    /// several runners (e.g. the per-cluster runners of a scenario
+    /// campaign) can execute on one set of persistent workers.  Call this
+    /// *after* [`Self::with_max_parallel`] / [`Self::with_intra_parallel`]
+    /// — those builders reset the pool so it can be re-sized.
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.workers = OnceLock::new();
+        let _ = self.workers.set(pool);
         self.executor = OnceLock::new();
         self
     }
@@ -398,13 +415,24 @@ impl SuiteRunner {
     }
 
     fn run_indexed(&self, index: usize, kind: WorkloadKind) -> ProxyRun {
-        let report = self.tuned_report(kind);
-        let seed = derive_seed(self.base_seed, index as u64);
-        let execution = ExecutionSummary::from(&report.proxy.execute_dag(
-            self.executor(),
+        self.run_cell(
+            kind,
             SAMPLE_ELEMENTS,
-            seed,
-        ));
+            derive_seed(self.base_seed, index as u64),
+        )
+    }
+
+    /// Tunes (or fetches from cache) `kind`'s proxy and executes its DAG on
+    /// an explicit sample size and seed — the cell-level hook the scenario
+    /// campaign engine batches over.  [`Self::run_kind`] /
+    /// [`Self::run_all`] are this with the runner's derived seed and
+    /// [`SAMPLE_ELEMENTS`]: `run_cell(kind, SAMPLE_ELEMENTS,
+    /// derive_seed(base_seed, index))` reproduces a suite run's slice byte
+    /// for byte.
+    pub fn run_cell(&self, kind: WorkloadKind, elements: usize, seed: u64) -> ProxyRun {
+        let report = self.tuned_report(kind);
+        let execution =
+            ExecutionSummary::from(&report.proxy.execute_dag(self.executor(), elements, seed));
         ProxyRun {
             kind,
             seed,
@@ -635,6 +663,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn run_cell_reproduces_a_suite_slice_byte_for_byte() {
+        let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+        let suite = runner.run_all();
+        for (index, kind) in WorkloadKind::ALL.iter().enumerate() {
+            let seed = derive_seed(DEFAULT_BASE_SEED, index as u64);
+            let cell = runner.run_cell(*kind, SAMPLE_ELEMENTS, seed);
+            let slice = suite.run(*kind);
+            assert_eq!(cell.seed, slice.seed);
+            assert_eq!(cell.execution, slice.execution);
+            assert_eq!(format!("{:?}", cell.report), format!("{:?}", slice.report));
+        }
+    }
+
+    #[test]
+    fn shared_worker_pool_is_adopted_not_recreated() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let runner = SuiteRunner::new(ClusterConfig::five_node_westmere())
+            .with_max_parallel(4)
+            .with_worker_pool(Arc::clone(&pool));
+        assert!(Arc::ptr_eq(runner.worker_pool(), &pool));
+        let report = runner.run_all();
+        assert_eq!(report.runs.len(), WorkloadKind::ALL.len());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 pub mod accuracy;
 pub mod instruction_mix;
+pub mod json;
 pub mod stats;
 pub mod table;
 pub mod vector;

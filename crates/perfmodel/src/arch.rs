@@ -123,6 +123,27 @@ impl ArchProfile {
         }
     }
 
+    /// Slugs of the modelled microarchitectures, in generation order.
+    /// These are the values a scenario file's `architectures` axis may
+    /// name; each resolves through [`ArchProfile::by_name`].
+    pub const NAMES: [&'static str; 2] = ["westmere", "haswell"];
+
+    /// Looks up a modelled microarchitecture by name.  Accepts the slugs
+    /// of [`ArchProfile::NAMES`] and the reporting names
+    /// (e.g. `"Xeon E5645 (Westmere)"`), case-insensitively.
+    pub fn by_name(name: &str) -> Option<Self> {
+        type Builder = fn() -> ArchProfile;
+        const REGISTRY: [(&str, Builder); 2] = [
+            ("westmere", ArchProfile::westmere_e5645),
+            ("haswell", ArchProfile::haswell_e5_2620_v3),
+        ];
+        let wanted = name.trim().to_ascii_lowercase();
+        REGISTRY
+            .iter()
+            .find(|(slug, build)| *slug == wanted || build().name.to_ascii_lowercase() == wanted)
+            .map(|(_, build)| build())
+    }
+
     /// Total physical cores in one node.
     pub fn cores_per_node(&self) -> u32 {
         self.cores_per_socket * self.sockets
@@ -191,6 +212,23 @@ mod tests {
         assert!(h.mlp_overlap > w.mlp_overlap);
         assert!(h.peak_memory_bw_mbps > w.peak_memory_bw_mbps);
         assert!(h.l3.size_bytes > w.l3.size_bytes);
+    }
+
+    #[test]
+    fn architectures_resolve_by_slug_and_reporting_name() {
+        for slug in ArchProfile::NAMES {
+            let arch = ArchProfile::by_name(slug).expect(slug);
+            assert_eq!(ArchProfile::by_name(arch.name).expect(arch.name), arch);
+        }
+        assert_eq!(
+            ArchProfile::by_name("Westmere"),
+            Some(ArchProfile::westmere_e5645())
+        );
+        assert_eq!(
+            ArchProfile::by_name("haswell"),
+            Some(ArchProfile::haswell_e5_2620_v3())
+        );
+        assert_eq!(ArchProfile::by_name("skylake"), None);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! # dmpb-scenario — the scenario campaign engine
+//!
+//! The proxy-benchmark methodology pays off when it is *swept*: workloads
+//! × clusters × microarchitectures × data scales × seeds, the way the
+//! BigDataBench line of work positions motif proxies as a scalable
+//! methodology.  This crate turns such experiments into data:
+//!
+//! 1. **A declarative scenario DSL** ([`dsl`]) — a hand-rolled
+//!    TOML-subset parser (no dependencies, in the `crates/compat` spirit)
+//!    that names axes over the existing registries: workloads
+//!    ([`WorkloadKind`](dmpb_workloads::WorkloadKind)'s `FromStr`),
+//!    clusters ([`ClusterConfig::by_name`](dmpb_workloads::ClusterConfig::by_name)),
+//!    architectures ([`ArchProfile::by_name`](dmpb_perfmodel::arch::ArchProfile::by_name)),
+//!    sample sizes and seeds, plus include/exclude filters.
+//! 2. **Deterministic expansion** ([`matrix`]) — the axes expand to a
+//!    cartesian campaign matrix in a fixed order with per-cell seeds
+//!    derived exactly as the suite runner derives them, so a default
+//!    campaign reproduces [`SuiteRunner::run_all`] byte for byte.
+//! 3. **A content-addressed result store** ([`store`]) — each cell is
+//!    fingerprinted (workload + stack + full cluster/tuning-cluster
+//!    configuration + scale + seed + [`CODE_MODEL_VERSION`]) with the
+//!    workspace FNV hasher; results persist as JSON lines and re-runs
+//!    skip every already-computed cell, byte-identically.
+//! 4. **A batch campaign runner** ([`runner`]) — cells are batched onto
+//!    one persistent work-stealing
+//!    [`WorkerPool`](dmpb_motifs::workers::WorkerPool) shared with the
+//!    per-cluster [`SuiteRunner`]s (and their tuning caches), so a
+//!    campaign tunes each (workload, tuning-cluster) pair once no matter
+//!    how many cells sweep it.
+//!
+//! The paper-table binaries (`table6`, `fig4`, `fig10`, `table3`) are
+//! thin renderers over the built-in scenarios in [`builtin`]; the
+//! `campaign` binary runs any scenario file, diffs against stored
+//! baselines and gates on accuracy regressions.
+//!
+//! [`SuiteRunner`]: dmpb_core::runner::SuiteRunner
+//! [`SuiteRunner::run_all`]: dmpb_core::runner::SuiteRunner::run_all
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builtin;
+pub mod dsl;
+pub mod matrix;
+pub mod runner;
+pub mod store;
+
+pub use dsl::{ParseError, Scenario};
+pub use matrix::{CampaignCell, CellFilter};
+pub use runner::{CampaignDiff, CampaignReport, CampaignRunner, CellOutcome};
+pub use store::{read_records, CellResult, ResultStore, StoreStats};
+
+/// Version of the modelled methodology a stored result was computed
+/// under.  Part of every cell fingerprint: bump it whenever a change to
+/// the performance model, tuner, kernels or seed derivation would make
+/// previously stored results stale — old entries then simply never hit.
+pub const CODE_MODEL_VERSION: u32 = 1;

@@ -1,0 +1,315 @@
+//! Deterministic expansion of a [`Scenario`] into its campaign matrix.
+//!
+//! The axes expand as nested loops in a fixed order — clusters ▸
+//! architectures ▸ elements ▸ seeds ▸ workloads (workloads innermost, so
+//! each suite slice is contiguous) — and the include/exclude filters are
+//! applied during expansion.  Expansion is a pure function of the
+//! scenario: expanding the same scenario twice yields the same cells in
+//! the same order with the same fingerprints, which is what lets the
+//! content-addressed [`ResultStore`](crate::store::ResultStore) serve
+//! re-runs.
+//!
+//! Each cell's sample-execution seed is *derived*, not taken verbatim:
+//! `derive_seed(base_seed, workload's position in WorkloadKind::ALL)` —
+//! exactly the derivation [`SuiteRunner::run_all`] uses — so a campaign
+//! over the default axes reproduces the legacy suite byte for byte.
+//!
+//! [`SuiteRunner::run_all`]: dmpb_core::runner::SuiteRunner::run_all
+
+use dmpb_core::fnv::hash_bytes;
+use dmpb_core::runner::fingerprint_cluster;
+use dmpb_datagen::rng::derive_seed;
+use dmpb_perfmodel::arch::ArchProfile;
+use dmpb_workloads::{ClusterConfig, WorkloadKind};
+
+use crate::dsl::{Scenario, DEFAULT_ARCHITECTURE};
+
+/// A predicate over campaign cells: every named axis must match.  Used
+/// for the scenario DSL's `[[include]]` / `[[exclude]]` tables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellFilter {
+    /// Match cells of this workload.
+    pub workload: Option<WorkloadKind>,
+    /// Match cells on this cluster (slug).
+    pub cluster: Option<String>,
+    /// Match cells with this architecture override (`"default"` matches
+    /// cells without an override).
+    pub architecture: Option<String>,
+    /// Match cells with this sample size.
+    pub elements: Option<usize>,
+    /// Match cells derived from this base seed.
+    pub seed: Option<u64>,
+}
+
+impl CellFilter {
+    /// Whether `cell` satisfies every axis this filter names.
+    pub fn matches(&self, cell: &CampaignCell) -> bool {
+        self.workload.map_or(true, |w| w == cell.kind)
+            && self
+                .cluster
+                .as_ref()
+                .map_or(true, |c| *c == cell.cluster_name)
+            && self
+                .architecture
+                .as_ref()
+                .map_or(true, |a| *a == cell.architecture)
+            && self.elements.map_or(true, |e| e == cell.elements)
+            && self.seed.map_or(true, |s| s == cell.base_seed)
+    }
+}
+
+/// One point of the campaign matrix: a (workload, cluster, architecture,
+/// scale, seed) combination, plus the tuning-cluster context it executes
+/// under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCell {
+    /// Position in the expanded (post-filter) matrix.
+    pub index: usize,
+    /// The workload of this cell.
+    pub kind: WorkloadKind,
+    /// Cluster slug (resolves via [`ClusterConfig::by_name`]).
+    pub cluster_name: String,
+    /// Architecture override slug, or `"default"` for the cluster's own
+    /// processor.
+    pub architecture: String,
+    /// Sample-execution size (the data-scale axis).
+    pub elements: usize,
+    /// The base seed this cell's seed was derived from.
+    pub base_seed: u64,
+    /// The derived per-cell sample-execution seed.
+    pub seed: u64,
+    /// Tuning-cluster slug, if the scenario pins one; `None` tunes on the
+    /// cell's own (architecture-overridden) cluster.
+    pub tuning_cluster_name: Option<String>,
+}
+
+impl CampaignCell {
+    /// The cell's measurement cluster, with the architecture override
+    /// applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell names an unknown cluster or architecture; cells
+    /// produced by [`Scenario::expand`] from a parsed scenario are always
+    /// valid.
+    pub fn cluster(&self) -> ClusterConfig {
+        let mut cluster = ClusterConfig::by_name(&self.cluster_name)
+            .unwrap_or_else(|| panic!("unknown cluster `{}`", self.cluster_name));
+        if self.architecture != DEFAULT_ARCHITECTURE {
+            cluster.node.arch = ArchProfile::by_name(&self.architecture)
+                .unwrap_or_else(|| panic!("unknown architecture `{}`", self.architecture));
+        }
+        cluster
+    }
+
+    /// The cluster the cell's proxy is tuned on: the pinned tuning
+    /// cluster if the scenario names one, otherwise [`Self::cluster`].
+    pub fn tuning_cluster(&self) -> ClusterConfig {
+        match &self.tuning_cluster_name {
+            Some(name) => ClusterConfig::by_name(name)
+                .unwrap_or_else(|| panic!("unknown tuning cluster `{name}`")),
+            None => self.cluster(),
+        }
+    }
+
+    /// The content address of this cell: an FNV fingerprint over
+    /// everything that determines its result — the code-model version,
+    /// the workload and its stack, the full measurement- and
+    /// tuning-cluster configurations, the sample size and the derived
+    /// seed.  Campaign identity (scenario name, cell index, filters) is
+    /// deliberately *not* part of the address, so different scenarios
+    /// share results for identical cells.
+    pub fn fingerprint(&self, version: u32) -> u64 {
+        hash_bytes(
+            format!(
+                "campaign-cell|v{}|{}|{}|cluster:{:016x}|tuning:{:016x}|elements:{}|seed:{:016x}",
+                version,
+                self.kind.short_name(),
+                self.kind.framework(),
+                fingerprint_cluster(&self.cluster()),
+                fingerprint_cluster(&self.tuning_cluster()),
+                self.elements,
+                self.seed,
+            )
+            .as_bytes(),
+        )
+    }
+}
+
+impl Scenario {
+    /// Expands the scenario into its deterministic campaign matrix.
+    ///
+    /// See the [module docs](crate::matrix) for the loop order and
+    /// determinism contract.  Cells dropped by the include/exclude
+    /// filters do not appear (and do not consume indices).
+    pub fn expand(&self) -> Vec<CampaignCell> {
+        let mut cells = Vec::new();
+        for cluster in &self.clusters {
+            for architecture in &self.architectures {
+                for &elements in &self.elements {
+                    for &base_seed in &self.seeds {
+                        for &kind in &self.workloads {
+                            let position = WorkloadKind::ALL
+                                .iter()
+                                .position(|&k| k == kind)
+                                .expect("every WorkloadKind appears in ALL")
+                                as u64;
+                            let cell = CampaignCell {
+                                index: cells.len(),
+                                kind,
+                                cluster_name: cluster.clone(),
+                                architecture: architecture.clone(),
+                                elements,
+                                base_seed,
+                                seed: derive_seed(base_seed, position),
+                                tuning_cluster_name: self.tuning_cluster.clone(),
+                            };
+                            if self.admits(&cell) {
+                                cells.push(cell);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Whether the include/exclude filters keep `cell`.
+    pub fn admits(&self, cell: &CampaignCell) -> bool {
+        if self.exclude.iter().any(|f| f.matches(cell)) {
+            return false;
+        }
+        self.include.is_empty() || self.include.iter().any(|f| f.matches(cell))
+    }
+
+    /// Number of cells before filtering (the raw cartesian product).
+    pub fn matrix_size(&self) -> usize {
+        self.workloads.len()
+            * self.clusters.len()
+            * self.architectures.len()
+            * self.elements.len()
+            * self.seeds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpb_core::runner::{DEFAULT_BASE_SEED, SAMPLE_ELEMENTS};
+
+    #[test]
+    fn default_scenario_expands_to_one_suite_in_all_order() {
+        let cells = Scenario::with_defaults("d").expand();
+        assert_eq!(cells.len(), 8);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.kind, WorkloadKind::ALL[i]);
+            assert_eq!(cell.elements, SAMPLE_ELEMENTS);
+            assert_eq!(cell.base_seed, DEFAULT_BASE_SEED);
+            assert_eq!(cell.seed, derive_seed(DEFAULT_BASE_SEED, i as u64));
+            assert_eq!(cell.cluster(), ClusterConfig::five_node_westmere());
+            assert_eq!(cell.tuning_cluster(), cell.cluster());
+        }
+    }
+
+    #[test]
+    fn expansion_order_is_clusters_archs_elements_seeds_workloads() {
+        let mut s = Scenario::with_defaults("order");
+        s.workloads = vec![WorkloadKind::TeraSort, WorkloadKind::KMeans];
+        s.clusters = vec![
+            "five-node-westmere".to_string(),
+            "three-node-haswell".to_string(),
+        ];
+        s.seeds = vec![1, 2];
+        let cells = s.expand();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].cluster_name, "five-node-westmere");
+        assert_eq!(cells[0].base_seed, 1);
+        assert_eq!(cells[0].kind, WorkloadKind::TeraSort);
+        assert_eq!(cells[1].kind, WorkloadKind::KMeans);
+        assert_eq!(cells[2].base_seed, 2);
+        assert_eq!(cells[4].cluster_name, "three-node-haswell");
+    }
+
+    #[test]
+    fn architecture_override_swaps_the_processor_only() {
+        let mut s = Scenario::with_defaults("arch");
+        s.clusters = vec!["three-node-westmere-64gb".to_string()];
+        s.architectures = vec!["haswell".to_string()];
+        let cell = &s.expand()[0];
+        let cluster = cell.cluster();
+        let legacy = ClusterConfig::three_node_haswell();
+        assert_eq!(cluster.node.arch, legacy.node.arch);
+        assert_eq!(cluster.node.memory_gb, legacy.node.memory_gb);
+        assert_eq!(cluster.total_nodes, legacy.total_nodes);
+    }
+
+    #[test]
+    fn filters_drop_and_keep_cells() {
+        let mut s = Scenario::with_defaults("filters");
+        s.exclude.push(CellFilter {
+            workload: Some(WorkloadKind::TeraSort),
+            ..CellFilter::default()
+        });
+        let cells = s.expand();
+        assert_eq!(cells.len(), 7);
+        assert!(cells.iter().all(|c| c.kind != WorkloadKind::TeraSort));
+        // Indices stay dense after filtering.
+        assert_eq!(
+            cells.iter().map(|c| c.index).collect::<Vec<_>>(),
+            (0..7).collect::<Vec<_>>()
+        );
+
+        s.include.push(CellFilter {
+            workload: Some(WorkloadKind::KMeans),
+            ..CellFilter::default()
+        });
+        let cells = s.expand();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].kind, WorkloadKind::KMeans);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_axis_sensitive() {
+        let s = Scenario::with_defaults("fp");
+        let a = s.expand();
+        let b = s.expand();
+        for (ca, cb) in a.iter().zip(&b) {
+            assert_eq!(ca, cb);
+            assert_eq!(ca.fingerprint(1), cb.fingerprint(1));
+            assert_ne!(
+                ca.fingerprint(1),
+                ca.fingerprint(2),
+                "version must rotate the address"
+            );
+        }
+        // Any axis change moves the address.
+        let mut other = a[0].clone();
+        other.elements += 1;
+        assert_ne!(other.fingerprint(1), a[0].fingerprint(1));
+        let mut other = a[0].clone();
+        other.seed ^= 1;
+        assert_ne!(other.fingerprint(1), a[0].fingerprint(1));
+        let mut other = a[0].clone();
+        other.architecture = "haswell".to_string();
+        assert_ne!(other.fingerprint(1), a[0].fingerprint(1));
+    }
+
+    #[test]
+    fn pinned_tuning_cluster_is_used_for_tuning_only() {
+        let mut s = Scenario::with_defaults("tuning");
+        s.clusters = vec!["three-node-haswell".to_string()];
+        s.tuning_cluster = Some("five-node-westmere".to_string());
+        let cell = &s.expand()[0];
+        assert_eq!(cell.cluster(), ClusterConfig::three_node_haswell());
+        assert_eq!(cell.tuning_cluster(), ClusterConfig::five_node_westmere());
+    }
+
+    #[test]
+    fn matrix_size_counts_the_unfiltered_product() {
+        let mut s = Scenario::with_defaults("size");
+        s.seeds = vec![1, 2, 3];
+        assert_eq!(s.matrix_size(), 24);
+    }
+}

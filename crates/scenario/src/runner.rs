@@ -1,0 +1,475 @@
+//! The batch campaign runner: expands a scenario and executes its cells
+//! on the persistent work-stealing worker pool, short-circuiting through
+//! the content-addressed [`ResultStore`].
+//!
+//! Per-cluster tuning goes through one [`SuiteRunner`] per distinct
+//! tuning cluster, so the PR 4 tuning cache memoizes across cells (eight
+//! cells of one suite slice share eight tunes, a second seed axis value
+//! re-tunes nothing), and every runner shares the campaign's single
+//! [`WorkerPool`] — steady-state campaigns spawn no threads beyond it.
+//!
+//! Determinism: cells are executed with their pre-derived seeds and
+//! collected into their matrix positions, so the produced
+//! [`CampaignReport`] is byte-for-byte identical for any worker count,
+//! and a warm run (every cell served from the store) is byte-identical
+//! to the cold run that filled it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dmpb_core::fnv::hash_bytes;
+use dmpb_core::runner::{fingerprint_cluster, SuiteRunner};
+use dmpb_core::ProxyGenerator;
+use dmpb_metrics::table::{fmt_percent, fmt_speedup, TextTable};
+use dmpb_motifs::workers::WorkerPool;
+
+use crate::dsl::Scenario;
+use crate::matrix::CampaignCell;
+use crate::store::{CellResult, ResultStore, StoreStats};
+use crate::CODE_MODEL_VERSION;
+
+/// Default worker-pool width for cell batching when neither the scenario
+/// nor the caller picks one.
+pub const DEFAULT_WORKERS: usize = 8;
+
+/// One executed (or store-served) cell of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The result payload (identical whether computed or served).
+    pub result: CellResult,
+    /// Whether the result came out of the store.
+    pub cached: bool,
+}
+
+/// The structured result of one campaign run.
+///
+/// Only [`CampaignReport::cells`] participates in the digest — the
+/// cached-ness of a cell is telemetry, not payload, so cold and warm runs
+/// digest identically.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The scenario's name.
+    pub scenario: String,
+    /// Per-cell results in matrix order.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl CampaignReport {
+    /// The cell results in matrix order.
+    pub fn cells(&self) -> impl Iterator<Item = &CellResult> {
+        self.outcomes.iter().map(|o| &o.result)
+    }
+
+    /// Number of cells served from the result store.
+    pub fn cache_hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cached).count()
+    }
+
+    /// Fraction of cells served from the result store (`0.0` for an
+    /// empty campaign).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.cache_hits() as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// A stable digest over every cell's serialized result.  Identical
+    /// for cold and warm runs and for any worker count.
+    pub fn digest(&self) -> u64 {
+        hash_bytes(self.to_lines().as_bytes())
+    }
+
+    /// The report as JSON lines (the baseline/store interchange format).
+    pub fn to_lines(&self) -> String {
+        let mut out = String::new();
+        for cell in self.cells() {
+            out.push_str(&cell.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the campaign as a summary table, one row per cell.
+    pub fn summary_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!("Campaign `{}`", self.scenario),
+            &[
+                "workload", "cluster", "arch", "elements", "seed", "accuracy", "speedup",
+                "checksum", "source",
+            ],
+        );
+        for outcome in &self.outcomes {
+            let c = &outcome.result;
+            t.add_row(&[
+                c.workload.to_string(),
+                c.cluster.clone(),
+                c.architecture.clone(),
+                c.elements.to_string(),
+                format!("{:016x}", c.seed),
+                fmt_percent(c.accuracy_avg),
+                fmt_speedup(c.speedup),
+                format!("{:016x}", c.checksum),
+                if outcome.cached { "store" } else { "computed" }.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Diffs this run against a stored baseline (cells matched by
+    /// fingerprint).
+    pub fn diff(&self, baseline: &[CellResult]) -> CampaignDiff {
+        let ours: HashMap<u64, &CellResult> = self.cells().map(|c| (c.fingerprint, c)).collect();
+        let theirs: HashMap<u64, &CellResult> =
+            baseline.iter().map(|c| (c.fingerprint, c)).collect();
+        let mut diff = CampaignDiff::default();
+        for cell in self.cells() {
+            match theirs.get(&cell.fingerprint) {
+                None => diff.added.push(cell.clone()),
+                Some(base) => {
+                    if cell.accuracy_avg < base.accuracy_avg - ACCURACY_EPSILON {
+                        diff.regressed
+                            .push((cell.clone(), base.accuracy_avg, cell.accuracy_avg));
+                    } else if *base != cell {
+                        diff.changed.push((cell.clone(), (*base).clone()));
+                    }
+                }
+            }
+        }
+        for base in baseline {
+            if !ours.contains_key(&base.fingerprint) {
+                diff.missing.push(base.clone());
+            }
+        }
+        diff
+    }
+}
+
+/// Accuracy slack below which a baseline comparison counts as a
+/// regression rather than noise.  The model is deterministic, so any
+/// drop at all is a real change; the epsilon only absorbs decimal
+/// re-parsing of hand-edited baselines.
+pub const ACCURACY_EPSILON: f64 = 1e-9;
+
+/// The outcome of diffing a campaign run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignDiff {
+    /// Cells present now but absent from the baseline (benign).
+    pub added: Vec<CellResult>,
+    /// Baseline cells this run did not produce.
+    pub missing: Vec<CellResult>,
+    /// Cells whose accuracy dropped below the baseline: `(now, baseline
+    /// accuracy, current accuracy)`.
+    pub regressed: Vec<(CellResult, f64, f64)>,
+    /// Cells that differ from the baseline in some other field: `(now,
+    /// baseline)`.
+    pub changed: Vec<(CellResult, CellResult)>,
+}
+
+impl CampaignDiff {
+    /// Whether the diff should gate (fail) a campaign: an accuracy
+    /// regression, a changed result, or a baseline cell that went
+    /// missing.  Added cells are fine — campaigns grow.
+    pub fn is_regression(&self) -> bool {
+        !self.regressed.is_empty() || !self.changed.is_empty() || !self.missing.is_empty()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "baseline diff: {} regressed, {} changed, {} missing, {} added",
+            self.regressed.len(),
+            self.changed.len(),
+            self.missing.len(),
+            self.added.len()
+        )
+    }
+}
+
+/// Batch executor for scenario campaigns.
+#[derive(Debug)]
+pub struct CampaignRunner {
+    version: u32,
+    workers: usize,
+    store: Arc<ResultStore>,
+    pool: OnceLock<Arc<WorkerPool>>,
+    runners: Mutex<HashMap<u64, Arc<SuiteRunner>>>,
+}
+
+impl Default for CampaignRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CampaignRunner {
+    /// A runner with an in-memory (process-lifetime) result store.
+    pub fn new() -> Self {
+        Self::with_store(ResultStore::in_memory())
+    }
+
+    /// A runner over an explicit (typically persistent) result store.
+    pub fn with_store(store: ResultStore) -> Self {
+        Self {
+            version: CODE_MODEL_VERSION,
+            workers: DEFAULT_WORKERS,
+            store: Arc::new(store),
+            pool: OnceLock::new(),
+            runners: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Bounds the number of concurrently executed cells (≥ 1).  A
+    /// scenario's `[executor] workers` takes precedence for its own run,
+    /// and the persistent pool is sized for whichever is wider on first
+    /// use — but the pool is created exactly once, so a *later* run's
+    /// wider request is capped at the existing pool's width.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The backing result store.
+    pub fn store(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Snapshot of the store's cumulative hit/miss counters.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// The campaign's shared worker pool, created exactly once, sized
+    /// for at least `width` concurrent tasks (the calling thread
+    /// participates, so `width - 1` pool threads suffice).  Once built,
+    /// the width is fixed — later, wider requests are capped by the
+    /// caller via [`WorkerPool::workers`].
+    fn pool(&self, width: usize) -> &Arc<WorkerPool> {
+        self.pool
+            .get_or_init(|| Arc::new(WorkerPool::new(width.max(self.workers).saturating_sub(1))))
+    }
+
+    /// The tuning runner for a cell's tuning cluster, created on first
+    /// use and shared (with its tuning cache) by every cell that tunes
+    /// there.
+    fn cluster_runner(&self, cell: &CampaignCell) -> Arc<SuiteRunner> {
+        let cluster = cell.tuning_cluster();
+        let key = fingerprint_cluster(&cluster);
+        let mut runners = self.runners.lock().expect("campaign runners poisoned");
+        Arc::clone(runners.entry(key).or_insert_with(|| {
+            Arc::new(
+                SuiteRunner::with_generator(ProxyGenerator::new(cluster))
+                    .with_intra_parallel(1)
+                    .with_worker_pool(Arc::clone(self.pool(self.workers))),
+            )
+        }))
+    }
+
+    /// Executes one cell: store lookup first, then tune + execute +
+    /// measure and store the result.
+    fn run_cell(&self, cell: &CampaignCell) -> CellOutcome {
+        let fingerprint = cell.fingerprint(self.version);
+        if let Some(result) = self.store.lookup(fingerprint) {
+            return CellOutcome {
+                result,
+                cached: true,
+            };
+        }
+        let runner = self.cluster_runner(cell);
+        let run = runner.run_cell(cell.kind, cell.elements, cell.seed);
+        let result = CellResult::compute(cell, &run, self.version);
+        debug_assert_eq!(result.fingerprint, fingerprint);
+        self.store.insert(result.clone());
+        CellOutcome {
+            result,
+            cached: false,
+        }
+    }
+
+    /// Runs a whole campaign: expands the scenario and batches the cells
+    /// onto the worker pool.  The report lists cells in matrix order and
+    /// is identical run to run regardless of worker count and of which
+    /// cells the store served.
+    pub fn run(&self, scenario: &Scenario) -> CampaignReport {
+        let cells = scenario.expand();
+        let requested = scenario
+            .workers
+            .unwrap_or(self.workers)
+            .clamp(1, cells.len().max(1));
+
+        let slots: Vec<OnceLock<CellOutcome>> = cells.iter().map(|_| OnceLock::new()).collect();
+        if requested <= 1 {
+            for (slot, cell) in slots.iter().zip(&cells) {
+                assert!(
+                    slot.set(self.run_cell(cell)).is_ok(),
+                    "campaign slot filled twice"
+                );
+            }
+        } else {
+            // Size the pool for this run's request on first use; once it
+            // exists, its width (plus the participating caller) caps the
+            // effective concurrency of later, wider requests.
+            let pool = self.pool(requested);
+            let workers = requested.min(pool.workers() + 1);
+            let cursor = AtomicUsize::new(0);
+            pool.scope(|scope| {
+                for _ in 0..workers {
+                    let slots = &slots;
+                    let cells = &cells;
+                    let cursor = &cursor;
+                    scope.spawn(move |_| loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= cells.len() {
+                            break;
+                        }
+                        assert!(
+                            slots[index].set(self.run_cell(&cells[index])).is_ok(),
+                            "campaign slot filled twice"
+                        );
+                    });
+                }
+            });
+        }
+
+        CampaignReport {
+            scenario: scenario.name.clone(),
+            outcomes: slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every cell produced an outcome"))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpb_core::runner::DEFAULT_BASE_SEED;
+    use dmpb_workloads::WorkloadKind;
+
+    fn small_scenario() -> Scenario {
+        let mut s = Scenario::with_defaults("small");
+        s.workloads = vec![WorkloadKind::TeraSort, WorkloadKind::AlexNet];
+        s
+    }
+
+    #[test]
+    fn cold_then_warm_runs_are_byte_identical_and_store_served() {
+        let runner = CampaignRunner::new();
+        let scenario = small_scenario();
+        let cold = runner.run(&scenario);
+        assert_eq!(cold.cells().count(), 2);
+        assert_eq!(cold.cache_hits(), 0);
+
+        let warm = runner.run(&scenario);
+        assert_eq!(warm.cache_hits(), 2);
+        assert!((warm.hit_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(cold.to_lines(), warm.to_lines());
+        assert_eq!(cold.digest(), warm.digest());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let scenario = small_scenario();
+        let serial = CampaignRunner::new().with_workers(1).run(&scenario);
+        let parallel = CampaignRunner::new().with_workers(8).run(&scenario);
+        assert_eq!(serial.to_lines(), parallel.to_lines());
+        assert_eq!(serial.digest(), parallel.digest());
+    }
+
+    #[test]
+    fn tuning_cache_memoizes_across_seed_axis_values() {
+        // Serial, so the second seed's cells deterministically find the
+        // first seed's tunes in the cache (parallel cells may race to
+        // tune the same key — harmless duplicate work, same results).
+        let runner = CampaignRunner::new().with_workers(1);
+        let mut scenario = small_scenario();
+        scenario.seeds = vec![DEFAULT_BASE_SEED, 99];
+        let report = runner.run(&scenario);
+        assert_eq!(report.cells().count(), 4);
+        // 2 workloads × 2 seeds, but only 2 tunes: the second seed's
+        // cells reuse the per-cluster runner's tuning cache.
+        let runners = runner.runners.lock().unwrap();
+        assert_eq!(runners.len(), 1);
+        let stats = runners.values().next().unwrap().cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn seed_axis_changes_execution_but_not_tuning_metrics() {
+        let runner = CampaignRunner::new();
+        let mut scenario = small_scenario();
+        scenario.seeds = vec![DEFAULT_BASE_SEED, 99];
+        let report = runner.run(&scenario);
+        let cells: Vec<_> = report.cells().collect();
+        // Same workload under two seeds: same accuracy, different checksum.
+        assert_eq!(cells[0].workload, cells[2].workload);
+        assert_eq!(cells[0].accuracy_avg, cells[2].accuracy_avg);
+        assert_ne!(cells[0].seed, cells[2].seed);
+        assert_ne!(cells[0].checksum, cells[2].checksum);
+        assert_ne!(cells[0].fingerprint, cells[2].fingerprint);
+    }
+
+    #[test]
+    fn diff_flags_regressions_changes_and_missing_cells() {
+        let runner = CampaignRunner::new();
+        let scenario = small_scenario();
+        let report = runner.run(&scenario);
+        let baseline: Vec<CellResult> = report.cells().cloned().collect();
+
+        let clean = report.diff(&baseline);
+        assert!(!clean.is_regression(), "{}", clean.summary());
+
+        let mut worse = baseline.clone();
+        worse[0].accuracy_avg += 0.05; // the baseline was better than us
+        let diff = report.diff(&worse);
+        assert_eq!(diff.regressed.len(), 1);
+        assert!(diff.is_regression());
+
+        let mut changed = baseline.clone();
+        changed[1].checksum ^= 1;
+        let diff = report.diff(&changed);
+        assert_eq!(diff.changed.len(), 1);
+        assert!(diff.is_regression());
+
+        let mut extra = baseline.clone();
+        extra.push({
+            let mut cell = baseline[0].clone();
+            cell.fingerprint ^= 0xdead_beef;
+            cell
+        });
+        let diff = report.diff(&extra);
+        assert_eq!(diff.missing.len(), 1);
+        assert!(diff.is_regression());
+
+        let diff = report.diff(&baseline[..1]);
+        assert_eq!(diff.added.len(), 1);
+        assert!(!diff.is_regression(), "added cells are benign");
+    }
+
+    #[test]
+    fn scenario_executor_workers_override_the_runner_default() {
+        let scenario = {
+            let mut s = small_scenario();
+            s.workers = Some(1);
+            s
+        };
+        // No panic / deadlock with a 1-wide scenario on an 8-wide runner,
+        // and the output matches the parallel run.
+        let a = CampaignRunner::new().with_workers(8).run(&scenario);
+        let b = CampaignRunner::new().run(&small_scenario());
+        assert_eq!(a.to_lines(), b.to_lines());
+    }
+
+    #[test]
+    fn summary_table_lists_every_cell() {
+        let report = CampaignRunner::new().run(&small_scenario());
+        let rendered = report.summary_table().render();
+        assert!(rendered.contains("TeraSort"), "{rendered}");
+        assert!(rendered.contains("AlexNet"), "{rendered}");
+        assert!(rendered.contains("computed"), "{rendered}");
+    }
+}

@@ -1,0 +1,499 @@
+//! The content-addressed result store.
+//!
+//! Every campaign cell's result is addressed by its
+//! [`CampaignCell::fingerprint`] — a hash of everything that determines
+//! the result (workload, stack, full cluster and tuning-cluster
+//! configurations, sample size, derived seed and the
+//! [`CODE_MODEL_VERSION`](crate::CODE_MODEL_VERSION)).  A store maps
+//! fingerprints to [`CellResult`]s and optionally persists them as JSON
+//! lines, one object per cell, via [`dmpb_metrics::json`]; re-running a
+//! campaign against a warm store skips every already-computed cell.
+//!
+//! The serialization round-trips byte-exactly (floats use
+//! shortest-round-trip formatting, `u64` identities travel as hex
+//! strings), so a result served from disk is indistinguishable — field
+//! for field and byte for byte — from one computed cold.  The campaign
+//! determinism tests pin that invariant.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dmpb_core::fnv::hash_bytes;
+use dmpb_core::runner::ProxyRun;
+use dmpb_metrics::json::{parse_object, JsonScalar, ObjectWriter};
+use dmpb_workloads::{workload_by_kind, Framework, WorkloadKind};
+
+use crate::matrix::CampaignCell;
+
+/// The persisted result of one campaign cell: tuning outcome, accuracy,
+/// runtime model measurements on the cell's cluster, and the kernel
+/// execution checksum.  Everything needed by the report renderers, and
+/// nothing that differs between a cold computation and a store hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell's content address (see [`CampaignCell::fingerprint`]).
+    pub fingerprint: u64,
+    /// Code-model version the result was computed under.
+    pub version: u32,
+    /// The cell's workload.
+    pub workload: WorkloadKind,
+    /// The workload's software stack.
+    pub framework: Framework,
+    /// Measurement-cluster slug.
+    pub cluster: String,
+    /// Architecture override slug (`"default"` = the cluster's own).
+    pub architecture: String,
+    /// Tuning-cluster slug (equals `cluster` unless the scenario pinned
+    /// one).
+    pub tuning_cluster: String,
+    /// Sample-execution size.
+    pub elements: usize,
+    /// Base seed of the cell's axis point.
+    pub base_seed: u64,
+    /// Derived per-cell sample seed.
+    pub seed: u64,
+    /// Whether the tuned proxy met the deviation bound on every metric.
+    pub qualified: bool,
+    /// Auto-tuning iterations spent.
+    pub iterations: usize,
+    /// Average accuracy across tracked metrics (tuning cluster).
+    pub accuracy_avg: f64,
+    /// Name of the worst-matching metric.
+    pub worst_metric: String,
+    /// Its accuracy.
+    pub worst_accuracy: f64,
+    /// Runtime speedup of the proxy over the original (tuning cluster).
+    pub speedup: f64,
+    /// Original workload's modelled runtime on the tuning cluster.
+    pub real_runtime_secs: f64,
+    /// Proxy's modelled runtime on the tuning cluster.
+    pub proxy_runtime_secs: f64,
+    /// Original workload's modelled runtime on the *cell's* cluster
+    /// (differs from `real_runtime_secs` when a tuning cluster is pinned
+    /// or an architecture override is in play).
+    pub cell_real_runtime_secs: f64,
+    /// Proxy's modelled runtime on the cell's architecture.
+    pub cell_proxy_runtime_secs: f64,
+    /// Motif kernels executed by the sample run.
+    pub kernels_run: usize,
+    /// Folded checksum over all kernel outputs.
+    pub checksum: u64,
+    /// Per-metric accuracies in the tuner's tracked-metric order.
+    pub accuracies: Vec<(String, f64)>,
+}
+
+impl CellResult {
+    /// Computes a cell's result from its [`ProxyRun`] (tuning + sample
+    /// execution on the tuning cluster) plus the pure performance-model
+    /// measurements on the cell's own cluster.
+    pub fn compute(cell: &CampaignCell, run: &ProxyRun, version: u32) -> CellResult {
+        let cluster = cell.cluster();
+        let (worst_metric, worst_accuracy) = run
+            .report
+            .accuracy
+            .worst_metric()
+            .map(|(id, acc)| (id.name().to_string(), acc))
+            .unwrap_or_else(|| ("none".to_string(), 1.0));
+        CellResult {
+            fingerprint: cell.fingerprint(version),
+            version,
+            workload: cell.kind,
+            framework: cell.kind.framework(),
+            cluster: cell.cluster_name.clone(),
+            architecture: cell.architecture.clone(),
+            tuning_cluster: cell
+                .tuning_cluster_name
+                .clone()
+                .unwrap_or_else(|| cell.cluster_name.clone()),
+            elements: cell.elements,
+            base_seed: cell.base_seed,
+            seed: cell.seed,
+            qualified: run.report.qualified,
+            iterations: run.report.iterations,
+            accuracy_avg: run.report.accuracy.average(),
+            worst_metric,
+            worst_accuracy,
+            speedup: run.report.speedup,
+            real_runtime_secs: run.report.real_metrics.runtime_secs,
+            proxy_runtime_secs: run.report.proxy_metrics.runtime_secs,
+            cell_real_runtime_secs: workload_by_kind(cell.kind).measure(&cluster).runtime_secs,
+            cell_proxy_runtime_secs: run.report.proxy.measure(&cluster.node.arch).runtime_secs,
+            kernels_run: run.execution.kernels_run,
+            checksum: run.execution.checksum,
+            accuracies: run
+                .report
+                .accuracy
+                .entries()
+                .iter()
+                .map(|(id, acc)| (id.name().to_string(), *acc))
+                .collect(),
+        }
+    }
+
+    /// Looks up a per-metric accuracy by metric name.
+    pub fn accuracy_for(&self, metric: &str) -> Option<f64> {
+        self.accuracies
+            .iter()
+            .find(|(name, _)| name == metric)
+            .map(|(_, acc)| *acc)
+    }
+
+    /// Serializes the result as one flat JSON line.  The inverse of
+    /// [`CellResult::from_line`]; `from_line(to_line(r)) == r` exactly.
+    pub fn to_line(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.field_u64_hex("fingerprint", self.fingerprint);
+        w.field_int("version", i64::from(self.version));
+        w.field_str("workload", self.workload.short_name());
+        w.field_str("framework", self.framework.name());
+        w.field_str("cluster", &self.cluster);
+        w.field_str("architecture", &self.architecture);
+        w.field_str("tuning_cluster", &self.tuning_cluster);
+        w.field_int("elements", self.elements as i64);
+        w.field_u64_hex("base_seed", self.base_seed);
+        w.field_u64_hex("seed", self.seed);
+        w.field_bool("qualified", self.qualified);
+        w.field_int("iterations", self.iterations as i64);
+        w.field_f64("accuracy_avg", self.accuracy_avg);
+        w.field_str("worst_metric", &self.worst_metric);
+        w.field_f64("worst_accuracy", self.worst_accuracy);
+        w.field_f64("speedup", self.speedup);
+        w.field_f64("real_runtime_secs", self.real_runtime_secs);
+        w.field_f64("proxy_runtime_secs", self.proxy_runtime_secs);
+        w.field_f64("cell_real_runtime_secs", self.cell_real_runtime_secs);
+        w.field_f64("cell_proxy_runtime_secs", self.cell_proxy_runtime_secs);
+        w.field_int("kernels_run", self.kernels_run as i64);
+        w.field_u64_hex("checksum", self.checksum);
+        for (metric, acc) in &self.accuracies {
+            w.field_f64(&format!("acc:{metric}"), *acc);
+        }
+        w.finish()
+    }
+
+    /// A stable digest over the serialized result.
+    pub fn digest(&self) -> u64 {
+        hash_bytes(self.to_line().as_bytes())
+    }
+
+    /// Parses a result from its JSON line.
+    pub fn from_line(line: &str) -> Result<CellResult, String> {
+        let fields = parse_object(line)?;
+        let mut map: HashMap<&str, &JsonScalar> = HashMap::new();
+        let mut accuracies = Vec::new();
+        for (key, value) in &fields {
+            if let Some(metric) = key.strip_prefix("acc:") {
+                let acc = value
+                    .as_f64()
+                    .ok_or_else(|| format!("field `{key}` is not a number"))?;
+                accuracies.push((metric.to_string(), acc));
+            } else {
+                map.insert(key.as_str(), value);
+            }
+        }
+        let get = |key: &str| {
+            map.get(key)
+                .copied()
+                .ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let str_field = |key: &str| -> Result<String, String> {
+            Ok(get(key)?
+                .as_str()
+                .ok_or_else(|| format!("field `{key}` is not a string"))?
+                .to_string())
+        };
+        let hex_field = |key: &str| -> Result<u64, String> {
+            let s = str_field(key)?;
+            u64::from_str_radix(&s, 16).map_err(|e| format!("field `{key}`: {e}"))
+        };
+        // Reject negatives instead of `as`-wrapping them into huge
+        // unsigned values — a corrupt line must error, not round-trip.
+        let uint_field = |key: &str| -> Result<u64, String> {
+            let value = get(key)?
+                .as_int()
+                .ok_or_else(|| format!("field `{key}` is not an integer"))?;
+            u64::try_from(value).map_err(|_| format!("field `{key}` is negative: {value}"))
+        };
+        let f64_field = |key: &str| -> Result<f64, String> {
+            get(key)?
+                .as_f64()
+                .ok_or_else(|| format!("field `{key}` is not a number"))
+        };
+        Ok(CellResult {
+            fingerprint: hex_field("fingerprint")?,
+            version: u32::try_from(uint_field("version")?)
+                .map_err(|_| "field `version` exceeds u32".to_string())?,
+            workload: str_field("workload")?.parse::<WorkloadKind>()?,
+            framework: str_field("framework")?.parse::<Framework>()?,
+            cluster: str_field("cluster")?,
+            architecture: str_field("architecture")?,
+            tuning_cluster: str_field("tuning_cluster")?,
+            elements: uint_field("elements")? as usize,
+            base_seed: hex_field("base_seed")?,
+            seed: hex_field("seed")?,
+            qualified: get("qualified")?
+                .as_bool()
+                .ok_or("field `qualified` is not a bool")?,
+            iterations: uint_field("iterations")? as usize,
+            accuracy_avg: f64_field("accuracy_avg")?,
+            worst_metric: str_field("worst_metric")?,
+            worst_accuracy: f64_field("worst_accuracy")?,
+            speedup: f64_field("speedup")?,
+            real_runtime_secs: f64_field("real_runtime_secs")?,
+            proxy_runtime_secs: f64_field("proxy_runtime_secs")?,
+            cell_real_runtime_secs: f64_field("cell_real_runtime_secs")?,
+            cell_proxy_runtime_secs: f64_field("cell_proxy_runtime_secs")?,
+            kernels_run: uint_field("kernels_run")? as usize,
+            checksum: hex_field("checksum")?,
+            accuracies,
+        })
+    }
+}
+
+/// Reads a JSON-lines campaign report / store file into its records.
+/// Blank lines are skipped; a malformed line is an error (a corrupt store
+/// must not silently shrink a baseline).
+pub fn read_records(path: &Path) -> Result<Vec<CellResult>, String> {
+    let file = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{}: {e}", path.display()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(
+            CellResult::from_line(&line)
+                .map_err(|e| format!("{} line {}: {e}", path.display(), idx + 1))?,
+        );
+    }
+    Ok(records)
+}
+
+/// Hit/miss counters of a [`ResultStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh computation.
+    pub misses: u64,
+    /// Results currently held.
+    pub entries: usize,
+}
+
+impl StoreStats {
+    /// Fraction of lookups served from the store (`0.0` when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A content-addressed map from cell fingerprints to results, optionally
+/// backed by an append-only JSON-lines file.
+///
+/// Thread-safe: campaign workers probe and fill it concurrently.  On a
+/// fingerprint collision between an existing and a new entry the existing
+/// one wins — results are deterministic functions of their address, so
+/// the two are identical anyway.
+#[derive(Debug)]
+pub struct ResultStore {
+    index: Mutex<HashMap<u64, CellResult>>,
+    file: Option<Mutex<File>>,
+    path: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultStore {
+    /// An unpersisted store (results live for the process only).
+    pub fn in_memory() -> Self {
+        Self {
+            index: Mutex::new(HashMap::new()),
+            file: None,
+            path: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens (or creates) a persistent store at `path`, loading any
+    /// existing records.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, String> {
+        let path = path.into();
+        let mut index = HashMap::new();
+        if path.exists() {
+            for record in read_records(&path)? {
+                index.entry(record.fingerprint).or_insert(record);
+            }
+        } else if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("{}: {e}", parent.display()))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(Self {
+            index: Mutex::new(index),
+            file: Some(Mutex::new(file)),
+            path: Some(path),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The backing file, if the store persists.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Looks up a result by fingerprint, counting a hit or miss.
+    pub fn lookup(&self, fingerprint: u64) -> Option<CellResult> {
+        let found = self
+            .index
+            .lock()
+            .expect("result store poisoned")
+            .get(&fingerprint)
+            .cloned();
+        match found {
+            Some(record) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(record)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a result under its fingerprint, appending it to the backing
+    /// file.  A result already present under the same fingerprint is kept
+    /// and not re-appended.
+    pub fn insert(&self, record: CellResult) {
+        let fresh = {
+            let mut index = self.index.lock().expect("result store poisoned");
+            match index.entry(record.fingerprint) {
+                std::collections::hash_map::Entry::Occupied(_) => false,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(record.clone());
+                    true
+                }
+            }
+        };
+        if fresh {
+            if let Some(file) = &self.file {
+                let mut file = file.lock().expect("result store file poisoned");
+                writeln!(file, "{}", record.to_line()).expect("failed to append to result store");
+                file.flush().expect("failed to flush the result store");
+            }
+        }
+    }
+
+    /// Snapshot of the hit/miss counters and entry count.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.index.lock().expect("result store poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::Scenario;
+    use dmpb_core::runner::SuiteRunner;
+    use dmpb_workloads::ClusterConfig;
+
+    fn sample_result() -> CellResult {
+        let cell = Scenario::with_defaults("store-test").expand()[0].clone();
+        let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+        let run = runner.run_cell(cell.kind, cell.elements, cell.seed);
+        CellResult::compute(&cell, &run, 1)
+    }
+
+    #[test]
+    fn serialization_round_trips_exactly() {
+        let result = sample_result();
+        let line = result.to_line();
+        let back = CellResult::from_line(&line).unwrap();
+        assert_eq!(back, result);
+        assert_eq!(
+            back.to_line(),
+            line,
+            "re-serialization must be byte-identical"
+        );
+        assert_eq!(back.digest(), result.digest());
+        assert!(!result.accuracies.is_empty());
+        assert_eq!(
+            result.accuracy_for(&result.worst_metric),
+            Some(result.worst_accuracy)
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(CellResult::from_line("{}").is_err());
+        assert!(CellResult::from_line("not json").is_err());
+        let line = sample_result().to_line();
+        let bad_workload = line.replace("\"workload\":\"TeraSort\"", "\"workload\":\"Quicksort\"");
+        assert!(CellResult::from_line(&bad_workload).is_err());
+        // Negative counts must error, not wrap into huge unsigned values.
+        let negative = line.replace("\"elements\":2000", "\"elements\":-1");
+        let err = CellResult::from_line(&negative).unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+    }
+
+    #[test]
+    fn store_persists_and_reloads() {
+        let result = sample_result();
+        let dir = std::env::temp_dir().join(format!(
+            "dmpb-store-test-{}-{:016x}",
+            std::process::id(),
+            result.digest()
+        ));
+        let path = dir.join("results.jsonl");
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.lookup(result.fingerprint), None);
+        store.insert(result.clone());
+        store.insert(result.clone()); // dedup: not re-appended
+        assert_eq!(store.stats().entries, 1);
+        drop(store);
+
+        let reopened = ResultStore::open(&path).unwrap();
+        assert_eq!(reopened.stats().entries, 1);
+        let served = reopened.lookup(result.fingerprint).unwrap();
+        assert_eq!(served, result);
+        assert_eq!(served.to_line(), result.to_line());
+        let stats = reopened.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        assert_eq!(read_records(&path).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hit_ratio_counts_lookups() {
+        let store = ResultStore::in_memory();
+        let result = sample_result();
+        assert!(store.lookup(result.fingerprint).is_none());
+        store.insert(result.clone());
+        assert!(store.lookup(result.fingerprint).is_some());
+        assert!(store.lookup(result.fingerprint).is_some());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(StoreStats::default().hit_ratio(), 0.0);
+    }
+}

@@ -53,6 +53,35 @@ impl ClusterConfig {
         }
     }
 
+    /// Slugs of the named evaluation clusters, in paper order.  These are
+    /// the values scenario files may put on their `clusters` axis; each
+    /// resolves through [`ClusterConfig::by_name`].
+    pub const NAMES: [&'static str; 3] = [
+        "five-node-westmere",
+        "three-node-westmere-64gb",
+        "three-node-haswell",
+    ];
+
+    /// Looks up one of the paper's evaluation clusters by name.  Accepts
+    /// the slugs of [`ClusterConfig::NAMES`] and the reporting names
+    /// (e.g. `"5-node Xeon E5645 (32 GB)"`), case-insensitively.
+    pub fn by_name(name: &str) -> Option<Self> {
+        type Builder = fn() -> ClusterConfig;
+        const REGISTRY: [(&str, Builder); 3] = [
+            ("five-node-westmere", ClusterConfig::five_node_westmere),
+            (
+                "three-node-westmere-64gb",
+                ClusterConfig::three_node_westmere_64gb,
+            ),
+            ("three-node-haswell", ClusterConfig::three_node_haswell),
+        ];
+        let wanted = name.trim().to_ascii_lowercase();
+        REGISTRY
+            .iter()
+            .find(|(slug, build)| *slug == wanted || build().name.to_ascii_lowercase() == wanted)
+            .map(|(_, build)| build())
+    }
+
     /// Number of slave / worker nodes (the master does not process data).
     pub fn slave_nodes(&self) -> u32 {
         self.total_nodes.saturating_sub(1).max(1)
@@ -89,6 +118,23 @@ mod tests {
         let c = ClusterConfig::three_node_haswell();
         assert_eq!(c.node.arch.name, "Xeon E5-2620 v3 (Haswell)");
         assert_eq!(c.slave_nodes(), 2);
+    }
+
+    #[test]
+    fn clusters_resolve_by_slug_and_reporting_name() {
+        for slug in ClusterConfig::NAMES {
+            let c = ClusterConfig::by_name(slug).expect(slug);
+            assert_eq!(ClusterConfig::by_name(c.name).expect(c.name), c);
+            assert_eq!(
+                ClusterConfig::by_name(&slug.to_ascii_uppercase()).expect(slug),
+                c
+            );
+        }
+        assert_eq!(
+            ClusterConfig::by_name("five-node-westmere"),
+            Some(ClusterConfig::five_node_westmere())
+        );
+        assert_eq!(ClusterConfig::by_name("nine-node-zen4"), None);
     }
 
     #[test]

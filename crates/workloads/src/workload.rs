@@ -45,6 +45,24 @@ impl std::fmt::Display for Framework {
     }
 }
 
+impl std::str::FromStr for Framework {
+    type Err = String;
+
+    /// Parses a stack name, case-insensitively (`"Hadoop"`, `"spark"`,
+    /// `"TensorFlow"`).  Round-trips with [`Framework::name`] /
+    /// `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "hadoop" => Ok(Framework::Hadoop),
+            "spark" => Ok(Framework::Spark),
+            "tensorflow" => Ok(Framework::TensorFlow),
+            _ => Err(format!(
+                "unknown framework `{s}` (expected Hadoop, Spark or TensorFlow)"
+            )),
+        }
+    }
+}
+
 /// Identity of one of the eight modelled workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WorkloadKind {
@@ -169,6 +187,40 @@ impl WorkloadKind {
 impl std::fmt::Display for WorkloadKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.short_name())
+    }
+}
+
+impl std::str::FromStr for WorkloadKind {
+    type Err = String;
+
+    /// Parses a workload name as scenario files spell them.  Matching is
+    /// case-insensitive and ignores spaces, hyphens and underscores, so
+    /// the short names (`"TeraSort"`, `"Spark-K-means"`), the full names
+    /// (`"Hadoop TeraSort"`, `"TensorFlow Inception-V3"`) and looser
+    /// spellings (`"spark_pagerank"`) all resolve.  Round-trips with
+    /// [`WorkloadKind::short_name`] / `Display` and
+    /// [`WorkloadKind::real_name`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized: String = s
+            .chars()
+            .filter(|c| !matches!(c, ' ' | '-' | '_'))
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        for kind in WorkloadKind::ALL {
+            let matches = |name: &str| {
+                name.chars()
+                    .filter(|c| !matches!(c, ' ' | '-' | '_'))
+                    .map(|c| c.to_ascii_lowercase())
+                    .eq(normalized.chars())
+            };
+            if matches(kind.short_name()) || matches(kind.real_name()) {
+                return Ok(kind);
+            }
+        }
+        Err(format!(
+            "unknown workload `{s}` (expected one of: {})",
+            WorkloadKind::ALL.map(|k| k.short_name()).join(", ")
+        ))
     }
 }
 
@@ -333,6 +385,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn workload_kind_from_str_round_trips_every_rendering() {
+        for kind in WorkloadKind::ALL {
+            assert_eq!(kind.to_string().parse::<WorkloadKind>(), Ok(kind));
+            assert_eq!(kind.short_name().parse::<WorkloadKind>(), Ok(kind));
+            assert_eq!(kind.real_name().parse::<WorkloadKind>(), Ok(kind));
+            assert_eq!(
+                kind.to_string()
+                    .to_ascii_lowercase()
+                    .parse::<WorkloadKind>(),
+                Ok(kind)
+            );
+        }
+        assert_eq!("spark_pagerank".parse(), Ok(WorkloadKind::SparkPageRank));
+        assert_eq!("inception v3".parse(), Ok(WorkloadKind::InceptionV3));
+        assert!("NotABenchmark".parse::<WorkloadKind>().is_err());
+        assert!("".parse::<WorkloadKind>().is_err());
+    }
+
+    #[test]
+    fn framework_from_str_round_trips() {
+        for fw in [Framework::Hadoop, Framework::Spark, Framework::TensorFlow] {
+            assert_eq!(fw.to_string().parse::<Framework>(), Ok(fw));
+            assert_eq!(fw.name().to_ascii_lowercase().parse::<Framework>(), Ok(fw));
+        }
+        assert!("Flink".parse::<Framework>().is_err());
     }
 
     #[test]

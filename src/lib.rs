@@ -11,7 +11,9 @@
 //! * [`motifs`] — the eight data motifs (big-data and AI implementations);
 //! * [`workloads`] — models of the original Hadoop and TensorFlow workloads;
 //! * [`core`] — the proxy benchmark generating methodology (DAG proxies,
-//!   decomposition, decision-tree auto-tuning, the five-proxy suite).
+//!   decomposition, decision-tree auto-tuning, the five-proxy suite);
+//! * [`scenario`] — the campaign engine: declarative sweep scenarios, the
+//!   content-addressed result store and the batch campaign runner.
 
 #![warn(missing_docs)]
 
@@ -20,4 +22,5 @@ pub use dmpb_datagen as datagen;
 pub use dmpb_metrics as metrics;
 pub use dmpb_motifs as motifs;
 pub use dmpb_perfmodel as perfmodel;
+pub use dmpb_scenario as scenario;
 pub use dmpb_workloads as workloads;
