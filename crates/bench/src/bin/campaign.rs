@@ -146,14 +146,23 @@ fn main() -> ExitCode {
         }
     );
     let matrix = scenario.matrix_size();
-    let report = runner.run(&scenario);
+    let report = match runner.try_run(&scenario) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::from(1);
+        }
+    };
     if report.outcomes.is_empty() {
-        eprintln!(
-            "campaign: scenario expanded to zero cells ({matrix} before filters) — nothing to run"
+        // A fully filtered campaign is legitimate (a sweep axis can
+        // exclude everything on some configurations): report it and skip
+        // the gates that are meaningless without cells, don't fail.
+        println!(
+            "campaign: scenario expanded to zero cells ({matrix} before filters) — \
+             nothing to run, gates skipped"
         );
-        return ExitCode::from(2);
     }
-    if report.outcomes.len() != matrix {
+    if !report.outcomes.is_empty() && report.outcomes.len() != matrix {
         println!(
             "{} of {} matrix cells kept by include/exclude filters",
             report.outcomes.len(),
@@ -206,9 +215,22 @@ fn main() -> ExitCode {
     }
 
     if let Some(expected) = options.expect_hit_ratio {
-        if report.hit_ratio() < expected {
+        if report.outcomes.is_empty() {
+            // Zero cells means zero store lookups: there is no hit ratio
+            // to gate on, and failing would misreport an empty (fully
+            // filtered) campaign as a cold store.
+            println!(
+                "campaign: hit-ratio gate skipped: no cells ran, so the store saw no lookups \
+                 (0 hits, 0 misses)"
+            );
+        } else if report.hit_ratio() < expected {
             eprintln!(
-                "campaign: hit-ratio gate failed: {:.2} < {expected:.2}",
+                "campaign: hit-ratio gate failed: {} of {} cells store-served \
+                 ({} hits, {} misses; ratio {:.2}) < expected {expected:.2}",
+                report.cache_hits(),
+                report.outcomes.len(),
+                runner.store_stats().hits,
+                runner.store_stats().misses,
                 report.hit_ratio()
             );
             failed = true;

@@ -1,0 +1,84 @@
+//! End-to-end tests of the `campaign` binary's gate semantics, pinned
+//! through the real CLI so exit codes and messages are covered.
+
+use std::process::Command;
+
+/// A scenario whose filters exclude every matrix cell — legitimate (a
+/// sweep axis can exclude everything on some configurations), so the
+/// hit-ratio gate must be *skipped with a notice*, not failed with a
+/// misleading "cold store" message.
+const FULLY_FILTERED: &str = r#"
+[scenario]
+name = "fully-filtered"
+description = "every cell excluded"
+
+[axes]
+workloads = ["TeraSort"]
+clusters = ["five-node-westmere"]
+
+[[exclude]]
+workload = "TeraSort"
+"#;
+
+fn campaign() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+}
+
+fn scenario_file(tag: &str, source: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "dmpb-campaign-cli-{tag}-{}.toml",
+        std::process::id()
+    ));
+    std::fs::write(&path, source).unwrap();
+    path
+}
+
+#[test]
+fn empty_campaign_passes_the_hit_ratio_gate_with_a_notice() {
+    let path = scenario_file("empty-gate", FULLY_FILTERED);
+    let output = campaign()
+        .arg(&path)
+        .args(["--expect-hit-ratio", "1.0"])
+        .output()
+        .expect("campaign binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "a fully filtered campaign must not fail the hit-ratio gate\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("gate skipped") && stdout.contains("0 hits, 0 misses"),
+        "the skip must be announced with the hit/miss counts\nstdout: {stdout}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cold_run_fails_the_hit_ratio_gate_with_counts_in_the_message() {
+    let source = r#"
+[scenario]
+name = "one-cell"
+
+[axes]
+workloads = ["TeraSort"]
+clusters = ["five-node-westmere"]
+"#;
+    let path = scenario_file("cold-gate", source);
+    let output = campaign()
+        .arg(&path)
+        .args(["--expect-hit-ratio", "0.9"])
+        .output()
+        .expect("campaign binary runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "a cold run must fail a 0.9 hit-ratio gate\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("0 of 1 cells store-served") && stderr.contains("misses"),
+        "the failure must say hits/misses, not just a ratio\nstderr: {stderr}"
+    );
+    std::fs::remove_file(&path).ok();
+}

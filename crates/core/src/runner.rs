@@ -41,7 +41,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::fnv::hash_bytes;
 use dmpb_datagen::rng::derive_seed;
@@ -136,11 +136,15 @@ impl TuningCache {
     }
 
     /// Looks up a tuning result, counting a hit or miss.
+    ///
+    /// The cache's locks recover from poisoning instead of cascading it:
+    /// entries are only ever inserted whole, so whatever a panicking
+    /// worker left behind is a complete, valid report.
     pub fn lookup(&self, key: &TuningKey) -> Option<GenerationReport> {
         let found = self
             .entries
             .lock()
-            .expect("tuning cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(key)
             .cloned();
         match found {
@@ -159,7 +163,7 @@ impl TuningCache {
     pub fn insert(&self, key: TuningKey, report: GenerationReport) {
         self.entries
             .lock()
-            .expect("tuning cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, report);
     }
 
@@ -168,7 +172,11 @@ impl TuningCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("tuning cache poisoned").len(),
+            entries: self
+                .entries
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
         }
     }
 }
@@ -439,6 +447,31 @@ impl SuiteRunner {
             report,
             execution,
         }
+    }
+
+    /// [`Self::run_cell`], with panics converted into an error instead of
+    /// unwinding into the caller.  Long-running hosts (the campaign
+    /// daemon) use this so one exploding cell fails its own campaign
+    /// without taking down every other worker; the tuning cache and
+    /// worker pool recover from a mid-cell panic by construction (the
+    /// cache inserts whole entries, the pool routes task panics here).
+    pub fn try_run_cell(
+        &self,
+        kind: WorkloadKind,
+        elements: usize,
+        seed: u64,
+    ) -> Result<ProxyRun, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_cell(kind, elements, seed)
+        }))
+        .map_err(|payload| {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            format!("cell {kind} (elements {elements}, seed {seed:016x}) panicked: {message}")
+        })
     }
 
     /// Maps every workload through `work` on the persistent shared worker

@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accuracy;
+pub mod histogram;
 pub mod instruction_mix;
 pub mod json;
 pub mod stats;
@@ -33,5 +34,6 @@ pub mod table;
 pub mod vector;
 
 pub use accuracy::{accuracy, AccuracyReport};
+pub use histogram::{HistogramSnapshot, LatencyHistogram, LATENCY_BUCKET_BOUNDS_NS};
 pub use instruction_mix::InstructionMix;
 pub use vector::{MetricId, MetricVector};

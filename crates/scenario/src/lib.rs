@@ -47,8 +47,13 @@ pub mod store;
 
 pub use dsl::{ParseError, Scenario};
 pub use matrix::{CampaignCell, CellFilter};
-pub use runner::{CampaignDiff, CampaignReport, CampaignRunner, CellOutcome};
-pub use store::{read_records, CellResult, ResultStore, StoreStats};
+pub use runner::{
+    CampaignDiff, CampaignError, CampaignReport, CampaignRunner, CellObserver, CellOutcome,
+};
+pub use store::{
+    load_records_recovering, read_records, CellResult, LoadedRecords, ResultStore, StoreStats,
+    TornTail,
+};
 
 /// Version of the modelled methodology a stored result was computed
 /// under.  Part of every cell fingerprint: bump it whenever a change to

@@ -16,7 +16,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 use dmpb_core::fnv::hash_bytes;
 use dmpb_core::runner::{fingerprint_cluster, SuiteRunner};
@@ -188,14 +189,55 @@ impl CampaignDiff {
     }
 }
 
+/// Callback invoked after every cell with its outcome and wall-clock
+/// latency — the hook the campaign daemon hangs its per-cell latency
+/// histogram on.  Called for computed and store-served cells alike.
+pub type CellObserver = Arc<dyn Fn(&CellOutcome, Duration) + Send + Sync>;
+
+/// A campaign that could not produce every cell: the cells that did
+/// complete are not reported (a partial campaign report would silently
+/// shrink baselines), only the per-cell failures.
+#[derive(Debug, Clone)]
+pub struct CampaignError {
+    /// The scenario that failed.
+    pub scenario: String,
+    /// One message per failed cell.
+    pub failures: Vec<String>,
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "campaign `{}`: {} cell(s) failed: {}",
+            self.scenario,
+            self.failures.len(),
+            self.failures.join("; ")
+        )
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
 /// Batch executor for scenario campaigns.
-#[derive(Debug)]
 pub struct CampaignRunner {
     version: u32,
     workers: usize,
     store: Arc<ResultStore>,
     pool: OnceLock<Arc<WorkerPool>>,
     runners: Mutex<HashMap<u64, Arc<SuiteRunner>>>,
+    observer: Option<CellObserver>,
+}
+
+impl std::fmt::Debug for CampaignRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignRunner")
+            .field("version", &self.version)
+            .field("workers", &self.workers)
+            .field("store", &self.store)
+            .field("observer", &self.observer.as_ref().map(|_| "…"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for CampaignRunner {
@@ -218,7 +260,15 @@ impl CampaignRunner {
             store: Arc::new(store),
             pool: OnceLock::new(),
             runners: Mutex::new(HashMap::new()),
+            observer: None,
         }
+    }
+
+    /// Registers a per-cell observer, called with every cell's outcome
+    /// and wall-clock latency (from possibly-concurrent worker threads).
+    pub fn with_cell_observer(mut self, observer: CellObserver) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Bounds the number of concurrently executed cells (≥ 1).  A
@@ -257,7 +307,9 @@ impl CampaignRunner {
     fn cluster_runner(&self, cell: &CampaignCell) -> Arc<SuiteRunner> {
         let cluster = cell.tuning_cluster();
         let key = fingerprint_cluster(&cluster);
-        let mut runners = self.runners.lock().expect("campaign runners poisoned");
+        // Recover a poisoned map instead of cascading the panic into
+        // every later cell: entries are only ever inserted whole.
+        let mut runners = self.runners.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(runners.entry(key).or_insert_with(|| {
             Arc::new(
                 SuiteRunner::with_generator(ProxyGenerator::new(cluster))
@@ -268,38 +320,56 @@ impl CampaignRunner {
     }
 
     /// Executes one cell: store lookup first, then tune + execute +
-    /// measure and store the result.
-    fn run_cell(&self, cell: &CampaignCell) -> CellOutcome {
+    /// measure and store the result.  A panicking cell becomes an error
+    /// (via [`SuiteRunner::try_run_cell`]) instead of unwinding through
+    /// the pool into every sibling.
+    fn run_cell(&self, cell: &CampaignCell) -> Result<CellOutcome, String> {
+        let start = Instant::now();
         let fingerprint = cell.fingerprint(self.version);
-        if let Some(result) = self.store.lookup(fingerprint) {
-            return CellOutcome {
+        let outcome = match self.store.lookup(fingerprint) {
+            Some(result) => CellOutcome {
                 result,
                 cached: true,
-            };
+            },
+            None => {
+                let runner = self.cluster_runner(cell);
+                let run = runner.try_run_cell(cell.kind, cell.elements, cell.seed)?;
+                let result = CellResult::compute(cell, &run, self.version);
+                debug_assert_eq!(result.fingerprint, fingerprint);
+                // A failed append already degraded the store to
+                // in-memory with a recorded warning; the result itself
+                // is good and the campaign goes on.
+                let _ = self.store.insert(result.clone());
+                CellOutcome {
+                    result,
+                    cached: false,
+                }
+            }
+        };
+        if let Some(observer) = &self.observer {
+            observer(&outcome, start.elapsed());
         }
-        let runner = self.cluster_runner(cell);
-        let run = runner.run_cell(cell.kind, cell.elements, cell.seed);
-        let result = CellResult::compute(cell, &run, self.version);
-        debug_assert_eq!(result.fingerprint, fingerprint);
-        self.store.insert(result.clone());
-        CellOutcome {
-            result,
-            cached: false,
-        }
+        Ok(outcome)
     }
 
     /// Runs a whole campaign: expands the scenario and batches the cells
     /// onto the worker pool.  The report lists cells in matrix order and
     /// is identical run to run regardless of worker count and of which
     /// cells the store served.
-    pub fn run(&self, scenario: &Scenario) -> CampaignReport {
+    ///
+    /// A failing cell fails the whole campaign (the other cells still
+    /// complete — their results stay in the store, so a re-run after a
+    /// fix is warm).  Long-running hosts should prefer this over
+    /// [`CampaignRunner::run`], which panics on the same condition.
+    pub fn try_run(&self, scenario: &Scenario) -> Result<CampaignReport, CampaignError> {
         let cells = scenario.expand();
         let requested = scenario
             .workers
             .unwrap_or(self.workers)
             .clamp(1, cells.len().max(1));
 
-        let slots: Vec<OnceLock<CellOutcome>> = cells.iter().map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<Result<CellOutcome, String>>> =
+            cells.iter().map(|_| OnceLock::new()).collect();
         if requested <= 1 {
             for (slot, cell) in slots.iter().zip(&cells) {
                 assert!(
@@ -333,13 +403,31 @@ impl CampaignRunner {
             });
         }
 
-        CampaignReport {
-            scenario: scenario.name.clone(),
-            outcomes: slots
-                .into_iter()
-                .map(|slot| slot.into_inner().expect("every cell produced an outcome"))
-                .collect(),
+        let mut outcomes = Vec::with_capacity(slots.len());
+        let mut failures = Vec::new();
+        for slot in slots {
+            match slot.into_inner().expect("every cell produced an outcome") {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(failure) => failures.push(failure),
+            }
         }
+        if !failures.is_empty() {
+            return Err(CampaignError {
+                scenario: scenario.name.clone(),
+                failures,
+            });
+        }
+        Ok(CampaignReport {
+            scenario: scenario.name.clone(),
+            outcomes,
+        })
+    }
+
+    /// [`CampaignRunner::try_run`], panicking on a failed cell — the
+    /// one-shot CLI surface, where unwinding to `main` is the right
+    /// failure mode.
+    pub fn run(&self, scenario: &Scenario) -> CampaignReport {
+        self.try_run(scenario).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

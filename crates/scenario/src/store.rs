@@ -19,8 +19,8 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use dmpb_core::fnv::hash_bytes;
 use dmpb_core::runner::ProxyRun;
@@ -272,6 +272,102 @@ pub fn read_records(path: &Path) -> Result<Vec<CellResult>, String> {
     Ok(records)
 }
 
+/// A malformed final line found (and discarded) while loading a store
+/// file — the footprint of a crash or kill mid-append.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// 1-based line number of the discarded line.
+    pub line: usize,
+    /// Why the line did not parse.
+    pub error: String,
+    /// Bytes of the torn tail (from the end of the last good line to
+    /// end-of-file).
+    pub discarded_bytes: u64,
+}
+
+/// The outcome of loading a store file with torn-tail recovery.
+#[derive(Debug)]
+pub struct LoadedRecords {
+    /// The successfully parsed records, in file order.
+    pub records: Vec<CellResult>,
+    /// Length in bytes of the valid prefix (every parsed record plus its
+    /// newline, plus any interior blank lines).  Truncating the file to
+    /// this length removes a torn tail.
+    pub valid_len: u64,
+    /// Whether the last *valid* line is missing its trailing newline
+    /// (a tear that landed between the payload and the `\n`).  Appending
+    /// to the file without fixing this would glue two records together.
+    pub missing_newline: bool,
+    /// The discarded torn tail, if the final line was malformed.
+    pub torn_tail: Option<TornTail>,
+}
+
+/// Loads a store file, recovering from a torn *final* line: a crash or
+/// kill mid-append leaves a partial last line, and refusing to open the
+/// store forever over it would brick every later run.  The torn tail is
+/// reported (so [`ResultStore::open`] can truncate it away with a
+/// warning); a malformed line in the *interior* of the file is still a
+/// hard error — that is corruption, not a tear.
+pub fn load_records_recovering(path: &Path) -> Result<LoadedRecords, String> {
+    let file = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut reader = BufReader::new(file);
+    // Split into raw byte chunks first so "is this the final line?" is
+    // known when a parse fails.
+    let mut chunks: Vec<Vec<u8>> = Vec::new();
+    loop {
+        let mut chunk = Vec::new();
+        let n = reader
+            .read_until(b'\n', &mut chunk)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if n == 0 {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let is_blank = |chunk: &[u8]| chunk.iter().all(|b| b.is_ascii_whitespace());
+    let last_content = chunks.iter().rposition(|c| !is_blank(c));
+
+    let mut loaded = LoadedRecords {
+        records: Vec::new(),
+        valid_len: 0,
+        missing_newline: false,
+        torn_tail: None,
+    };
+    let mut offset = 0u64;
+    for (idx, chunk) in chunks.iter().enumerate() {
+        let end = offset + chunk.len() as u64;
+        if is_blank(chunk) {
+            loaded.valid_len = end;
+            loaded.missing_newline = false;
+            offset = end;
+            continue;
+        }
+        let parsed = std::str::from_utf8(chunk)
+            .map_err(|e| format!("invalid UTF-8: {e}"))
+            .and_then(|text| CellResult::from_line(text.trim_end_matches(['\n', '\r'])));
+        match parsed {
+            Ok(record) => {
+                loaded.records.push(record);
+                loaded.valid_len = end;
+                loaded.missing_newline = !chunk.ends_with(b"\n");
+                offset = end;
+            }
+            Err(error) if Some(idx) == last_content => {
+                loaded.torn_tail = Some(TornTail {
+                    line: idx + 1,
+                    error,
+                    discarded_bytes: chunks[idx..].iter().map(|c| c.len() as u64).sum(),
+                });
+                break;
+            }
+            Err(error) => {
+                return Err(format!("{} line {}: {error}", path.display(), idx + 1));
+            }
+        }
+    }
+    Ok(loaded)
+}
+
 /// Hit/miss counters of a [`ResultStore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -281,17 +377,35 @@ pub struct StoreStats {
     pub misses: u64,
     /// Results currently held.
     pub entries: usize,
+    /// Appends that failed at the I/O layer (after the first failure the
+    /// store degrades to in-memory, so this is 0 or 1 in practice).
+    pub persist_errors: u64,
 }
 
 impl StoreStats {
-    /// Fraction of lookups served from the store (`0.0` when idle).
-    pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
+    /// Total lookups answered (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the store, or `None` when there
+    /// were no lookups at all.  An idle store has no hit ratio — gates
+    /// must treat the zero-lookup case explicitly instead of reading the
+    /// `0.0` that [`StoreStats::hit_ratio`] reports for it.
+    pub fn try_hit_ratio(&self) -> Option<f64> {
+        let total = self.lookups();
         if total == 0 {
-            0.0
+            None
         } else {
-            self.hits as f64 / total as f64
+            Some(self.hits as f64 / total as f64)
         }
+    }
+
+    /// Fraction of lookups served from the store (`0.0` when idle — use
+    /// [`StoreStats::try_hit_ratio`] anywhere a zero-lookup run must not
+    /// be confused with an all-miss run).
+    pub fn hit_ratio(&self) -> f64 {
+        self.try_hit_ratio().unwrap_or(0.0)
     }
 }
 
@@ -309,6 +423,12 @@ pub struct ResultStore {
     path: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Set after the first failed append: the store keeps serving (and
+    /// accepting) results in memory but stops touching the sick file.
+    persist_disabled: AtomicBool,
+    persist_errors: AtomicU64,
+    persist_error: Mutex<Option<String>>,
+    recovered_tail: Option<TornTail>,
 }
 
 impl ResultStore {
@@ -320,17 +440,47 @@ impl ResultStore {
             path: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            persist_disabled: AtomicBool::new(false),
+            persist_errors: AtomicU64::new(0),
+            persist_error: Mutex::new(None),
+            recovered_tail: None,
         }
     }
 
     /// Opens (or creates) a persistent store at `path`, loading any
     /// existing records.
+    ///
+    /// A malformed *final* line (the footprint of a crash mid-append) is
+    /// truncated away with a warning instead of bricking the store;
+    /// malformed interior lines are still hard errors.  See
+    /// [`ResultStore::recovered_tail`] for the discarded tail, if any.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, String> {
         let path = path.into();
         let mut index = HashMap::new();
+        let mut recovered_tail = None;
+        let mut missing_newline = false;
         if path.exists() {
-            for record in read_records(&path)? {
+            let loaded = load_records_recovering(&path)?;
+            for record in loaded.records {
                 index.entry(record.fingerprint).or_insert(record);
+            }
+            missing_newline = loaded.missing_newline;
+            if let Some(tail) = loaded.torn_tail {
+                eprintln!(
+                    "warning: result store {}: discarding torn final line {} \
+                     ({} bytes; {}) — truncating to the last good record",
+                    path.display(),
+                    tail.line,
+                    tail.discarded_bytes,
+                    tail.error
+                );
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                file.set_len(loaded.valid_len)
+                    .map_err(|e| format!("{}: truncating torn tail: {e}", path.display()))?;
+                recovered_tail = Some(tail);
             }
         } else if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -338,18 +488,43 @@ impl ResultStore {
                     .map_err(|e| format!("{}: {e}", parent.display()))?;
             }
         }
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
+        if missing_newline {
+            // The last record is intact but its newline was torn off;
+            // complete the line so the next append starts fresh.
+            file.write_all(b"\n")
+                .and_then(|()| file.flush())
+                .map_err(|e| format!("{}: completing final line: {e}", path.display()))?;
+        }
         Ok(Self {
             index: Mutex::new(index),
             file: Some(Mutex::new(file)),
             path: Some(path),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            persist_disabled: AtomicBool::new(false),
+            persist_errors: AtomicU64::new(0),
+            persist_error: Mutex::new(None),
+            recovered_tail,
         })
+    }
+
+    /// The torn tail [`ResultStore::open`] truncated away, if the backing
+    /// file had one.
+    pub fn recovered_tail(&self) -> Option<&TornTail> {
+        self.recovered_tail.as_ref()
+    }
+
+    /// The first append error, if persistence has degraded to in-memory.
+    pub fn persist_error(&self) -> Option<String> {
+        self.persist_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The backing file, if the store persists.
@@ -358,11 +533,15 @@ impl ResultStore {
     }
 
     /// Looks up a result by fingerprint, counting a hit or miss.
+    ///
+    /// A poisoned index lock is recovered, not propagated: the index is a
+    /// content-addressed map filled first-wins, so whatever a panicking
+    /// thread managed to insert is a complete, valid record.
     pub fn lookup(&self, fingerprint: u64) -> Option<CellResult> {
         let found = self
             .index
             .lock()
-            .expect("result store poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&fingerprint)
             .cloned();
         match found {
@@ -380,9 +559,14 @@ impl ResultStore {
     /// Stores a result under its fingerprint, appending it to the backing
     /// file.  A result already present under the same fingerprint is kept
     /// and not re-appended.
-    pub fn insert(&self, record: CellResult) {
+    ///
+    /// A failed append (full disk, EIO, revoked handle) must not kill a
+    /// batch run or a daemon: the error is recorded, a warning is printed
+    /// and the store degrades to in-memory — the in-memory insert always
+    /// succeeds.  Returns the persistence error, if this append hit one.
+    pub fn insert(&self, record: CellResult) -> Result<(), String> {
         let fresh = {
-            let mut index = self.index.lock().expect("result store poisoned");
+            let mut index = self.index.lock().unwrap_or_else(PoisonError::into_inner);
             match index.entry(record.fingerprint) {
                 std::collections::hash_map::Entry::Occupied(_) => false,
                 std::collections::hash_map::Entry::Vacant(slot) => {
@@ -391,13 +575,33 @@ impl ResultStore {
                 }
             }
         };
-        if fresh {
-            if let Some(file) = &self.file {
-                let mut file = file.lock().expect("result store file poisoned");
-                writeln!(file, "{}", record.to_line()).expect("failed to append to result store");
-                file.flush().expect("failed to flush the result store");
+        if !fresh || self.persist_disabled.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        if let Some(file) = &self.file {
+            let mut file = file.lock().unwrap_or_else(PoisonError::into_inner);
+            let appended = writeln!(file, "{}", record.to_line()).and_then(|()| file.flush());
+            if let Err(e) = appended {
+                let message = match self.path() {
+                    Some(path) => format!("{}: {e}", path.display()),
+                    None => e.to_string(),
+                };
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+                // First failure wins; later results stay in memory only.
+                if !self.persist_disabled.swap(true, Ordering::AcqRel) {
+                    eprintln!(
+                        "warning: result store append failed ({message}); \
+                         degrading to in-memory for the rest of this process"
+                    );
+                    *self
+                        .persist_error
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Some(message.clone());
+                }
+                return Err(message);
             }
         }
+        Ok(())
     }
 
     /// Snapshot of the hit/miss counters and entry count.
@@ -405,7 +609,12 @@ impl ResultStore {
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.index.lock().expect("result store poisoned").len(),
+            entries: self
+                .index
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+            persist_errors: self.persist_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -467,8 +676,8 @@ mod tests {
         let path = dir.join("results.jsonl");
         let store = ResultStore::open(&path).unwrap();
         assert_eq!(store.lookup(result.fingerprint), None);
-        store.insert(result.clone());
-        store.insert(result.clone()); // dedup: not re-appended
+        store.insert(result.clone()).unwrap();
+        store.insert(result.clone()).unwrap(); // dedup: not re-appended
         assert_eq!(store.stats().entries, 1);
         drop(store);
 
@@ -488,12 +697,151 @@ mod tests {
         let store = ResultStore::in_memory();
         let result = sample_result();
         assert!(store.lookup(result.fingerprint).is_none());
-        store.insert(result.clone());
+        store.insert(result.clone()).unwrap();
         assert!(store.lookup(result.fingerprint).is_some());
         assert!(store.lookup(result.fingerprint).is_some());
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(stats.lookups(), 3);
         assert!((stats.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
-        assert_eq!(StoreStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn idle_store_has_no_hit_ratio() {
+        let idle = StoreStats::default();
+        assert_eq!(idle.lookups(), 0);
+        assert_eq!(idle.try_hit_ratio(), None);
+        assert_eq!(idle.hit_ratio(), 0.0);
+    }
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dmpb-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated_on_reopen() {
+        let result = sample_result();
+        let dir = temp_store_dir("torn-tail");
+        let path = dir.join("results.jsonl");
+        {
+            let store = ResultStore::open(&path).unwrap();
+            store.insert(result.clone()).unwrap();
+        }
+        // A crash mid-append leaves a partial final line.
+        let torn = &result.to_line()[..40];
+        {
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(file, "{torn}").unwrap();
+        }
+        assert!(
+            read_records(&path).is_err(),
+            "the strict reader must reject the torn tail"
+        );
+
+        let reopened = ResultStore::open(&path).expect("torn tail must not brick the store");
+        assert_eq!(reopened.stats().entries, 1);
+        let tail = reopened.recovered_tail().expect("tail was recovered");
+        assert_eq!(tail.line, 2);
+        assert_eq!(tail.discarded_bytes, torn.len() as u64);
+        assert_eq!(reopened.lookup(result.fingerprint).unwrap(), result);
+
+        // The truncated file appends cleanly and parses strictly again.
+        let mut second = result.clone();
+        second.fingerprint ^= 0x5eed;
+        reopened.insert(second.clone()).unwrap();
+        drop(reopened);
+        let records = read_records(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].fingerprint, second.fingerprint);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_newline_only_is_completed_on_reopen() {
+        // The tear can land between the payload and its '\n': the record
+        // is intact but appending blindly would glue two lines together.
+        let result = sample_result();
+        let dir = temp_store_dir("torn-newline");
+        let path = dir.join("results.jsonl");
+        std::fs::write(&path, result.to_line()).unwrap(); // no trailing '\n'
+
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.stats().entries, 1);
+        assert!(store.recovered_tail().is_none());
+        let mut second = result.clone();
+        second.fingerprint ^= 0xbeef;
+        store.insert(second).unwrap();
+        drop(store);
+        assert_eq!(read_records(&path).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_still_a_hard_error() {
+        let result = sample_result();
+        let dir = temp_store_dir("interior");
+        let path = dir.join("results.jsonl");
+        std::fs::write(&path, format!("garbage not json\n{}\n", result.to_line())).unwrap();
+        let err = ResultStore::open(&path).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_failure_degrades_to_in_memory_without_panicking() {
+        let result = sample_result();
+        let dir = temp_store_dir("io-degrade");
+        let path = dir.join("results.jsonl");
+        std::fs::write(&path, "").unwrap();
+        // A read-only handle makes every append fail with a real I/O
+        // error (EBADF), standing in for a full disk or EIO.
+        let store = ResultStore {
+            index: Mutex::new(HashMap::new()),
+            file: Some(Mutex::new(File::open(&path).unwrap())),
+            path: Some(path.clone()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            persist_disabled: AtomicBool::new(false),
+            persist_errors: AtomicU64::new(0),
+            persist_error: Mutex::new(None),
+            recovered_tail: None,
+        };
+        let err = store.insert(result.clone()).unwrap_err();
+        assert!(err.contains("results.jsonl"), "{err}");
+        // The result is still served from memory; the error is recorded.
+        assert_eq!(store.lookup(result.fingerprint).unwrap(), result);
+        assert_eq!(store.stats().persist_errors, 1);
+        assert!(store.persist_error().is_some());
+        // Later inserts silently stay in memory (degraded, not dead).
+        let mut second = result.clone();
+        second.fingerprint ^= 1;
+        store.insert(second.clone()).unwrap();
+        assert_eq!(store.stats().entries, 2);
+        assert_eq!(store.stats().persist_errors, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_locks_are_recovered_not_cascaded() {
+        let result = sample_result();
+        let store = std::sync::Arc::new(ResultStore::in_memory());
+        store.insert(result.clone()).unwrap();
+        // A worker panicking while holding the index lock poisons it.
+        let poisoner = std::sync::Arc::clone(&store);
+        let panicked = std::thread::spawn(move || {
+            let _guard = poisoner.index.lock().unwrap();
+            panic!("worker died mid-insert");
+        })
+        .join();
+        assert!(panicked.is_err());
+        assert!(store.index.lock().is_err(), "the lock really is poisoned");
+        // Every other worker and later request keeps working.
+        assert_eq!(store.lookup(result.fingerprint).unwrap(), result);
+        let mut second = result.clone();
+        second.fingerprint ^= 2;
+        store.insert(second).unwrap();
+        assert_eq!(store.stats().entries, 2);
     }
 }

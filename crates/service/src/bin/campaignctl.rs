@@ -1,0 +1,259 @@
+//! `campaignctl` — client for the campaign daemon.
+//!
+//! ```text
+//! campaignctl submit <scenario.toml> --addr HOST:PORT
+//! campaignctl wait <id> --addr HOST:PORT [--timeout-secs N]
+//! campaignctl metrics --addr HOST:PORT
+//! campaignctl wait-healthy --addr HOST:PORT [--timeout-secs N]
+//! campaignctl smoke --addr HOST:PORT
+//! ```
+//!
+//! `smoke` drives the end-to-end check CI relies on: it submits the
+//! bundled decomposition scenario twice (cold, then warm), waits for
+//! both, and asserts the warm run is byte-identical and at least 90 %
+//! store-served, with `/metrics` agreeing.
+
+use std::time::{Duration, Instant};
+
+use dmpb_service::http::http_request;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaignctl <submit FILE | wait ID | metrics | wait-healthy | smoke> \
+         --addr HOST:PORT [--timeout-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("campaignctl: {message}");
+    std::process::exit(1);
+}
+
+struct Args {
+    command: String,
+    operand: Option<String>,
+    addr: String,
+    timeout: Duration,
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else { usage() };
+    let mut operand = None;
+    let mut addr = None;
+    let mut timeout = Duration::from_secs(120);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => addr = argv.next(),
+            "--timeout-secs" => {
+                let value = argv.next().unwrap_or_else(|| usage());
+                timeout = Duration::from_secs(
+                    value
+                        .parse()
+                        .unwrap_or_else(|e| fail(format!("bad --timeout-secs: {e}"))),
+                );
+            }
+            "--help" | "-h" => usage(),
+            other if operand.is_none() && !other.starts_with('-') => {
+                operand = Some(other.to_string())
+            }
+            other => fail(format!("unknown argument {other}")),
+        }
+    }
+    let Some(addr) = addr else {
+        fail("--addr HOST:PORT is required");
+    };
+    Args {
+        command,
+        operand,
+        addr,
+        timeout,
+    }
+}
+
+/// Pulls a string field out of a flat JSON body.
+fn json_field(body: &[u8], key: &str) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let fields = dmpb_metrics::json::parse_object(text.trim()).ok()?;
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_str().map(str::to_string))
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn submit(addr: &str, source: &[u8]) -> (String, usize) {
+    let (status, _, body) =
+        http_request(addr, "POST", "/campaigns", source, TIMEOUT).unwrap_or_else(|e| fail(e));
+    if status != 202 {
+        fail(format!(
+            "submit rejected with {status}: {}",
+            String::from_utf8_lossy(&body).trim()
+        ));
+    }
+    let id = json_field(&body, "id").unwrap_or_else(|| fail("submit response has no id"));
+    let cells = std::str::from_utf8(&body)
+        .ok()
+        .and_then(|text| dmpb_metrics::json::parse_object(text.trim()).ok())
+        .and_then(|fields| {
+            fields
+                .iter()
+                .find(|(k, _)| k == "cells")
+                .and_then(|(_, v)| v.as_int())
+        })
+        .unwrap_or(0) as usize;
+    (id, cells)
+}
+
+/// Polls `GET /campaigns/<id>` until it stops answering 202.
+fn wait(addr: &str, id: &str, timeout: Duration) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, headers, body) =
+            http_request(addr, "GET", &format!("/campaigns/{id}"), b"", TIMEOUT)
+                .unwrap_or_else(|e| fail(e));
+        if status != 202 {
+            return (status, headers, body);
+        }
+        if Instant::now() >= deadline {
+            fail(format!("campaign {id} still pending after {timeout:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn wait_healthy(addr: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok((200, _, _)) = http_request(addr, "GET", "/healthz", b"", TIMEOUT) {
+            return;
+        }
+        if Instant::now() >= deadline {
+            fail(format!("{addr} not healthy after {timeout:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Reads an un-labelled metric's value from a `/metrics` page.
+fn metric_value(page: &str, name: &str) -> Option<f64> {
+    page.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+fn smoke(addr: &str, timeout: Duration) {
+    wait_healthy(addr, timeout);
+    let scenario = dmpb_scenario::builtin::DECOMPOSITION_TOML.as_bytes();
+
+    println!("smoke: submitting cold run");
+    let (cold_id, cells) = submit(addr, scenario);
+    let (status, _, cold_body) = wait(addr, &cold_id, timeout);
+    if status != 200 {
+        fail(format!(
+            "cold run failed ({status}): {}",
+            String::from_utf8_lossy(&cold_body).trim()
+        ));
+    }
+
+    println!("smoke: submitting warm run");
+    let (warm_id, _) = submit(addr, scenario);
+    let (status, warm_headers, warm_body) = wait(addr, &warm_id, timeout);
+    if status != 200 {
+        fail(format!(
+            "warm run failed ({status}): {}",
+            String::from_utf8_lossy(&warm_body).trim()
+        ));
+    }
+
+    if warm_body != cold_body {
+        fail("warm report differs from cold report (store should serve identical bytes)");
+    }
+    let served: usize = header(&warm_headers, "x-dmpb-store-served")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail("warm response missing x-dmpb-store-served"));
+    let reported_cells: usize = header(&warm_headers, "x-dmpb-cells")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail("warm response missing x-dmpb-cells"));
+    if reported_cells != cells || cells == 0 {
+        fail(format!(
+            "cell count mismatch: submit said {cells}, report says {reported_cells}"
+        ));
+    }
+    if (served as f64) < 0.9 * cells as f64 {
+        fail(format!(
+            "warm run only {served}/{cells} store-served (expected >= 90%)"
+        ));
+    }
+
+    let (status, _, metrics) =
+        http_request(addr, "GET", "/metrics", b"", TIMEOUT).unwrap_or_else(|e| fail(e));
+    if status != 200 {
+        fail(format!("/metrics answered {status}"));
+    }
+    let page = String::from_utf8_lossy(&metrics);
+    let hits = metric_value(&page, "dmpb_store_hits_total")
+        .unwrap_or_else(|| fail("metrics missing dmpb_store_hits_total"));
+    let completed = metric_value(&page, "dmpb_campaigns_completed_total")
+        .unwrap_or_else(|| fail("metrics missing dmpb_campaigns_completed_total"));
+    if hits < served as f64 {
+        fail(format!(
+            "metrics report {hits} store hits but the warm run alone was served {served}"
+        ));
+    }
+    if completed < 2.0 {
+        fail(format!(
+            "metrics report {completed} completed campaigns, expected >= 2"
+        ));
+    }
+
+    println!("smoke: ok — {cells} cells, warm run {served} store-served, reports byte-identical");
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "submit" => {
+            let path = args.operand.unwrap_or_else(|| usage());
+            let source = std::fs::read(&path).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+            let (id, cells) = submit(&args.addr, &source);
+            println!("{id} queued ({cells} cells)");
+        }
+        "wait" => {
+            let id = args.operand.unwrap_or_else(|| usage());
+            let (status, headers, body) = wait(&args.addr, &id, args.timeout);
+            if status != 200 {
+                fail(format!(
+                    "campaign {id} failed ({status}): {}",
+                    String::from_utf8_lossy(&body).trim()
+                ));
+            }
+            let served = header(&headers, "x-dmpb-store-served").unwrap_or("?");
+            let cells = header(&headers, "x-dmpb-cells").unwrap_or("?");
+            eprintln!("campaignctl: {id} done, {served}/{cells} store-served");
+            print!("{}", String::from_utf8_lossy(&body));
+        }
+        "metrics" => {
+            let (status, _, body) = http_request(&args.addr, "GET", "/metrics", b"", TIMEOUT)
+                .unwrap_or_else(|e| fail(e));
+            if status != 200 {
+                fail(format!("/metrics answered {status}"));
+            }
+            print!("{}", String::from_utf8_lossy(&body));
+        }
+        "wait-healthy" => wait_healthy(&args.addr, args.timeout),
+        "smoke" => smoke(&args.addr, args.timeout),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,71 @@
+//! `campaignd` — the campaign service daemon.
+//!
+//! ```text
+//! campaignd [--addr HOST:PORT] [--store FILE.jsonl] [--workers N] [--queue-depth N]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7070`; port `0` picks an
+//! ephemeral port), prints the bound address on stdout as
+//! `campaignd: listening on <addr>`, and serves until killed.
+
+use std::path::PathBuf;
+
+use dmpb_service::{serve, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaignd [--addr HOST:PORT] [--store FILE.jsonl] [--workers N] [--queue-depth N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:7070".to_string(),
+        ..ServiceConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("campaignd: {flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--store" => config.store_path = Some(PathBuf::from(value("--store"))),
+            "--workers" => {
+                config.workers = value("--workers").parse().unwrap_or_else(|e| {
+                    eprintln!("campaignd: bad --workers: {e}");
+                    usage()
+                })
+            }
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth").parse().unwrap_or_else(|e| {
+                    eprintln!("campaignd: bad --queue-depth: {e}");
+                    usage()
+                })
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("campaignd: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    let handle = match serve(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("campaignd: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("campaignd: listening on {}", handle.addr());
+
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
