@@ -29,6 +29,47 @@ fn proxy_for(kind: WorkloadKind) -> ProxyBenchmark {
     )
 }
 
+/// Superkernel fusion vs plain dispatch on the workloads whose DAG plans
+/// contain a registered fusable chain (QuickSort→MergeSort in Hadoop
+/// K-means, GraphConstruct→GraphTraversal in the PageRank variants and
+/// Hadoop TeraSort).  Small element counts, where per-task scheduling
+/// overhead is the dominant cost fusion removes; the checksum assertions
+/// pin the PR 7 claim that fusion is digest-invisible.
+fn bench_superkernel_fusion(c: &mut Criterion) {
+    for kind in [
+        WorkloadKind::TeraSort,
+        WorkloadKind::KMeans,
+        WorkloadKind::PageRank,
+        WorkloadKind::SparkPageRank,
+    ] {
+        let proxy = proxy_for(kind);
+        let dag = proxy.dag();
+        let fused = DagExecutor::new();
+        let unfused = DagExecutor::new().with_fusion(false);
+        assert!(
+            fused.planned_fusions(&dag) > 0,
+            "{kind} must plan at least one fusion"
+        );
+        assert_eq!(
+            fused.execute(&dag, 2_048, 1).checksum,
+            unfused.execute(&dag, 2_048, 1).checksum,
+            "fusion must not change the digest"
+        );
+
+        let mut group = c.benchmark_group(format!("superkernel_fusion/{kind}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.bench_function("fused", |b| {
+            b.iter(|| black_box(fused.execute(&dag, 2_048, 1).checksum))
+        });
+        group.bench_function("unfused", |b| {
+            b.iter(|| black_box(unfused.execute(&dag, 2_048, 1).checksum))
+        });
+        group.finish();
+    }
+}
+
 fn bench_executor_scaling(c: &mut Criterion) {
     for kind in [WorkloadKind::InceptionV3, WorkloadKind::SparkTeraSort] {
         let proxy = proxy_for(kind);
@@ -62,5 +103,5 @@ fn bench_executor_scaling(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_executor_scaling);
+criterion_group!(benches, bench_executor_scaling, bench_superkernel_fusion);
 criterion_main!(benches);

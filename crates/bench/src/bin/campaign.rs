@@ -14,6 +14,9 @@
 //!                             wins for its own run)
 //!   --expect-hit-ratio <R>    exit 1 if fewer than R of the cells were
 //!                             served from the store (CI warm-run gate)
+//!   --profile-out <path>      enable kernel-execution profiling and dump
+//!                             the per-kind profile (JSON lines) after
+//!                             the run; results are unchanged
 //! ```
 //!
 //! Exit codes: 0 success, 1 gate failure (regression or hit-ratio miss),
@@ -30,12 +33,14 @@ struct Options {
     write_baseline: Option<String>,
     workers: Option<usize>,
     expect_hit_ratio: Option<f64>,
+    profile_out: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: campaign <scenario.toml> [--store <path>] [--baseline <path>] \
-         [--write-baseline <path>] [--workers <N>] [--expect-hit-ratio <R>]"
+         [--write-baseline <path>] [--workers <N>] [--expect-hit-ratio <R>] \
+         [--profile-out <path>]"
     );
     ExitCode::from(2)
 }
@@ -49,6 +54,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         write_baseline: None,
         workers: None,
         expect_hit_ratio: None,
+        profile_out: None,
     };
     while let Some(arg) = args.next() {
         let mut value_for = |flag: &str| {
@@ -80,6 +86,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                 }
                 options.expect_hit_ratio = Some(ratio);
             }
+            "--profile-out" => options.profile_out = Some(value_for("--profile-out")?),
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 eprintln!("campaign: unknown flag `{other}`");
@@ -130,6 +137,9 @@ fn main() -> ExitCode {
     let mut runner = CampaignRunner::with_store(store);
     if let Some(workers) = options.workers {
         runner = runner.with_workers(workers);
+    }
+    if options.profile_out.is_some() {
+        runner = runner.with_kernel_profiling(true);
     }
 
     println!(
@@ -235,6 +245,19 @@ fn main() -> ExitCode {
             );
             failed = true;
         }
+    }
+
+    if let Some(path) = &options.profile_out {
+        let profile = runner.kernel_profile();
+        if let Err(e) = std::fs::write(path, profile.to_jsonl()) {
+            eprintln!("campaign: cannot write profile {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote kernel profile {path} ({} kernel invocations across {} kinds)",
+            profile.total_invocations(),
+            profile.kinds.iter().filter(|k| k.invocations > 0).count()
+        );
     }
 
     if let Some(path) = &options.write_baseline {

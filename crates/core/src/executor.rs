@@ -16,6 +16,27 @@
 //! [`SchedulePolicy::StageBarrier`], so benches can measure the win and
 //! property tests can cross-check the two schedulers edge for edge.
 //!
+//! # Profiling and superkernel fusion (PR 7)
+//!
+//! The dispatch boundary is instrumented for the global
+//! [`KernelProfiler`]: when sampling is enabled (one relaxed load per
+//! execution when it is not), every kernel run records its kind, element
+//! count and wall time.  Profiles collected this way drive two
+//! optimisations applied right here:
+//!
+//! * **superkernel fusion** — adjacent edge pairs with a registered
+//!   [`FusedKernel`] (the profiled hottest adjacent pairs across the
+//!   eight workloads) execute as one task when the second edge's source
+//!   node has in-degree 1, eliding a spawn/countdown per pair and, when
+//!   the pair's arguments coincide, sharing generated input.  The
+//!   superkernel contract pins checksum identity with the unfused pair,
+//!   so digests are byte-identical with fusion on or off;
+//! * **specialised dispatch** — kernel objects are resolved once per
+//!   execution into a flat vector instead of per-edge registry lookups.
+//!
+//! Fusion is suppressed while profiling (exact per-kind attribution) and
+//! under the stage-barrier oracle, keeping both as independent checks.
+//!
 //! # Determinism
 //!
 //! The executor's output is byte-identical across worker counts, policies
@@ -35,12 +56,17 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use dmpb_datagen::rng::derive_seed;
 use dmpb_motifs::workers::{default_parallel_ceiling, Scope, WorkerPool};
-use dmpb_motifs::{BufferPool, MotifKind, MotifRegistry};
+use dmpb_motifs::{BufferPool, FusedKernel, KernelProfiler, MotifKernel, MotifKind, MotifRegistry};
 
-use crate::dag::ProxyDag;
+use crate::dag::{DagSchedule, EdgeReadiness, ProxyDag};
+
+/// A planned fusion: edge `a` (the index into the plan) executes the
+/// registered superkernel covering itself and edge `fused_next[a].0`.
+type FusionPlan = Vec<Option<(usize, &'static dyn FusedKernel)>>;
 
 /// Result of one edge's kernel execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +129,7 @@ pub struct DagExecutor {
     max_parallel: usize,
     ceiling: usize,
     policy: SchedulePolicy,
+    fusion: bool,
     pool: BufferPool,
     workers: OnceLock<Arc<WorkerPool>>,
 }
@@ -124,6 +151,7 @@ impl DagExecutor {
             max_parallel: 1,
             ceiling: default_parallel_ceiling(),
             policy: SchedulePolicy::default(),
+            fusion: true,
             pool: BufferPool::new(),
             workers: OnceLock::new(),
         }
@@ -159,6 +187,21 @@ impl DagExecutor {
         self
     }
 
+    /// Enables or disables superkernel fusion (on by default).
+    ///
+    /// When on, adjacent edge pairs with a registered
+    /// [`FusedKernel`] — where the second edge's source node has
+    /// in-degree 1, so the pair forms a private chain — execute as one
+    /// task.  Fusion is checksum-transparent (the superkernel contract
+    /// pins digest identity) and is automatically suppressed while
+    /// kernel profiling is enabled so per-kind attribution stays exact,
+    /// and under [`SchedulePolicy::StageBarrier`] so the barrier
+    /// scheduler remains an independent differential oracle.
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
     /// Installs a shared persistent worker pool instead of the lazily
     /// created private one — how a suite runner makes all eight proxies
     /// reuse one set of workers.  The buffer pool is re-sharded to match
@@ -186,6 +229,60 @@ impl DagExecutor {
     /// The configured scheduling policy.
     pub fn policy(&self) -> SchedulePolicy {
         self.policy
+    }
+
+    /// Whether superkernel fusion is enabled (see [`Self::with_fusion`]).
+    pub fn fusion(&self) -> bool {
+        self.fusion
+    }
+
+    /// Number of superkernel fusions the planner would apply to `dag` —
+    /// a static property of the DAG shape and the registered
+    /// [`FusedKernel`]s, independent of this executor's runtime fusion
+    /// gating (policy, profiling state, worker count).
+    pub fn planned_fusions(&self, dag: &ProxyDag) -> usize {
+        let schedule = dag.schedule();
+        let readiness = schedule.readiness();
+        Self::fusion_plan(&schedule, &readiness, MotifRegistry::global())
+            .0
+            .iter()
+            .filter(|fused| fused.is_some())
+            .count()
+    }
+
+    /// Pairs each fusable edge with its registered superkernel.
+    ///
+    /// Edge `a` fuses its successor edge `b` when `b`'s source node has
+    /// in-degree 1 (so `a` is its only predecessor and completing the
+    /// pair atomically cannot starve a sibling), a [`FusedKernel`] is
+    /// registered for `(a.motif, b.motif)`, and neither edge already
+    /// participates in another fusion (no chains — a superkernel covers
+    /// exactly two edges).
+    fn fusion_plan(
+        schedule: &DagSchedule,
+        readiness: &EdgeReadiness,
+        registry: &MotifRegistry,
+    ) -> (FusionPlan, Vec<bool>) {
+        let mut fused_next: FusionPlan = vec![None; schedule.edges.len()];
+        let mut fused_into = vec![false; schedule.edges.len()];
+        for a in 0..schedule.edges.len() {
+            if fused_into[a] {
+                continue;
+            }
+            for &b in &readiness.successors[a] {
+                if readiness.pending[b] != 1 || fused_into[b] {
+                    continue;
+                }
+                if let Some(kernel) =
+                    registry.fused(schedule.edges[a].motif, schedule.edges[b].motif)
+                {
+                    fused_next[a] = Some((b, kernel));
+                    fused_into[b] = true;
+                    break;
+                }
+            }
+        }
+        (fused_next, fused_into)
     }
 
     /// The shared intermediate-buffer pool kernels lease scratch storage
@@ -225,19 +322,59 @@ impl DagExecutor {
             })
             .collect();
 
+        // Specialised dispatch: resolve every edge's kernel object once,
+        // outside the hot loop, instead of indexing the registry per run.
+        let kernels: Vec<&'static dyn MotifKernel> = work
+            .iter()
+            .map(|&(motif, _, _)| registry.kernel(motif))
+            .collect();
+
+        // One relaxed load decides the whole execution: when profiling is
+        // off the hot path carries no timestamping at all, and when it is
+        // on fusion is suppressed so every kernel is attributed to its
+        // own `MotifKind`.
+        let profiler = KernelProfiler::global();
+        let profiling = profiler.enabled();
+
+        let workers = self.max_parallel.min(work.len().max(1));
+        let readiness = schedule.readiness();
+        let fusing = self.fusion
+            && !profiling
+            && (workers <= 1 || self.policy == SchedulePolicy::WorkStealing);
+        let (fused_next, fused_into) = if fusing {
+            Self::fusion_plan(&schedule, &readiness, registry)
+        } else {
+            (vec![None; work.len()], vec![false; work.len()])
+        };
+
         let mut checksums: Vec<OnceLock<u64>> = Vec::new();
         checksums.resize_with(work.len(), OnceLock::new);
         let run_edge = |index: usize| {
             let (motif, n, edge_seed) = work[index];
-            let checksum = registry.kernel(motif).execute(n, edge_seed, &self.pool);
-            checksums[index].set(checksum).expect("edge executed twice");
+            if let Some((next, fused)) = fused_next[index] {
+                let (_, n_next, seed_next) = work[next];
+                let (first, second) =
+                    fused.execute((n, edge_seed), (n_next, seed_next), &self.pool);
+                checksums[index].set(first).expect("edge executed twice");
+                checksums[next].set(second).expect("edge executed twice");
+            } else if profiling {
+                let start = Instant::now();
+                let checksum = kernels[index].execute(n, edge_seed, &self.pool);
+                profiler.record(motif, n, start.elapsed());
+                checksums[index].set(checksum).expect("edge executed twice");
+            } else {
+                let checksum = kernels[index].execute(n, edge_seed, &self.pool);
+                checksums[index].set(checksum).expect("edge executed twice");
+            }
         };
 
-        let workers = self.max_parallel.min(work.len().max(1));
         if workers <= 1 {
             // Topological index order is a valid serial execution order:
             // every edge into a node sorts before every edge out of it.
-            (0..work.len()).for_each(&run_edge);
+            // Fused tails already ran inside their head's superkernel.
+            (0..work.len())
+                .filter(|&index| !fused_into[index])
+                .for_each(&run_edge);
         } else {
             match self.policy {
                 SchedulePolicy::StageBarrier => {
@@ -256,7 +393,6 @@ impl DagExecutor {
                     }
                 }
                 SchedulePolicy::WorkStealing => {
-                    let readiness = schedule.readiness();
                     let pending: Vec<AtomicUsize> = readiness
                         .pending
                         .iter()
@@ -266,6 +402,7 @@ impl DagExecutor {
                         run_edge: &run_edge,
                         pending: &pending,
                         successors: &readiness.successors,
+                        fused_next: &fused_next,
                     };
                     self.worker_pool().scope(|scope| {
                         for &index in &readiness.initial {
@@ -310,13 +447,25 @@ struct EdgeTasks<'a, F: Fn(usize) + Sync> {
     run_edge: &'a F,
     pending: &'a [AtomicUsize],
     successors: &'a [Vec<usize>],
+    fused_next: &'a [Option<(usize, &'static dyn FusedKernel)>],
 }
 
 impl<F: Fn(usize) + Sync> EdgeTasks<'_, F> {
     fn run<'scope>(&'scope self, index: usize, scope: &Scope<'scope>) {
         (self.run_edge)(index);
+        self.propagate(index, scope);
+    }
+
+    /// Releases `index`'s successors.  A fused successor already executed
+    /// inside `index`'s superkernel, so instead of decrementing its
+    /// countdown and spawning it we recursively propagate *its*
+    /// completion — the fusion elides one task spawn per pair.
+    fn propagate<'scope>(&'scope self, index: usize, scope: &Scope<'scope>) {
+        let fused_tail = self.fused_next[index].map(|(next, _)| next);
         for &next in &self.successors[index] {
-            if self.pending[next].fetch_sub(1, Ordering::AcqRel) == 1 {
+            if Some(next) == fused_tail {
+                self.propagate(next, scope);
+            } else if self.pending[next].fetch_sub(1, Ordering::AcqRel) == 1 {
                 scope.spawn(move |s| self.run(next, s));
             }
         }
@@ -385,6 +534,51 @@ mod tests {
             barrier.execute(&dag, 2_000, 42),
             "scheduling policy must be a pure performance axis"
         );
+    }
+
+    #[test]
+    fn the_diamond_plans_one_quick_merge_fusion() {
+        // input -QuickSort-> left -MergeSort-> out is a private chain
+        // (`left` has in-degree 1) with a registered superkernel; the
+        // sampler/statistics branch has none.
+        let executor = DagExecutor::new();
+        assert!(executor.fusion(), "fusion is on by default");
+        assert_eq!(executor.planned_fusions(&diamond()), 1);
+    }
+
+    #[test]
+    fn fused_execution_matches_unfused_serial_and_both_parallel_policies() {
+        let dag = diamond();
+        let fused_serial = DagExecutor::new().execute(&dag, 2_000, 42);
+        let unfused_serial = DagExecutor::new()
+            .with_fusion(false)
+            .execute(&dag, 2_000, 42);
+        let fused_stealing = DagExecutor::new()
+            .with_max_parallel(8)
+            .execute(&dag, 2_000, 42);
+        let barrier = DagExecutor::new()
+            .with_policy(SchedulePolicy::StageBarrier)
+            .with_max_parallel(8)
+            .execute(&dag, 2_000, 42);
+        assert_eq!(fused_serial, unfused_serial, "fusion must be invisible");
+        assert_eq!(fused_serial, fused_stealing);
+        assert_eq!(fused_serial, barrier, "the barrier oracle never fuses");
+    }
+
+    #[test]
+    fn profiling_does_not_change_the_execution() {
+        // Uses the process-global profiler: other tests in this binary
+        // may observe profiling as enabled for a moment, which is safe —
+        // profiled runs only add timestamping and suppress fusion, both
+        // of which the equality gates here and above prove invisible.
+        let dag = diamond();
+        let executor = DagExecutor::new().with_max_parallel(8);
+        let baseline = executor.execute(&dag, 2_000, 42);
+        let profiler = KernelProfiler::global();
+        let was_enabled = profiler.set_enabled(true);
+        let profiled = executor.execute(&dag, 2_000, 42);
+        profiler.set_enabled(was_enabled);
+        assert_eq!(baseline, profiled, "profiling must be a pure observer");
     }
 
     #[test]

@@ -67,6 +67,18 @@ impl LatencyHistogram {
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Zeroes every counter.  Not atomic with respect to concurrent
+    /// recorders: an observation racing the reset may be partially kept.
+    /// Callers that need an exact window (the kernel profiler's
+    /// reset-then-measure flows) reset while no recording is in flight.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; LATENCY_BUCKETS];

@@ -49,13 +49,15 @@ pub mod cost;
 pub mod kernel;
 pub mod memory;
 pub mod pool;
+pub mod profile;
 pub mod threading;
 pub mod topology;
 pub mod workers;
 
 pub use class::{MotifClass, MotifKind};
 pub use config::MotifConfig;
-pub use kernel::{MotifKernel, MotifRegistry};
+pub use kernel::{FusedKernel, MotifKernel, MotifRegistry};
 pub use pool::BufferPool;
+pub use profile::{KernelProfile, KernelProfiler};
 pub use topology::{DagPlan, PlanEdge};
 pub use workers::WorkerPool;

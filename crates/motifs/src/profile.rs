@@ -1,0 +1,540 @@
+//! Lock-free kernel execution profiling at the registry dispatch boundary.
+//!
+//! The [`KernelProfiler`] answers the question the analytic cost models
+//! cannot: where does *sample execution* actually spend its time?  Every
+//! [`MotifKind`] gets a cache-line-padded slot of
+//! relaxed atomic counters — invocations, elements processed, cumulative
+//! nanoseconds — plus a lock-free
+//! [`LatencyHistogram`], and
+//! the [`BufferPool`](crate::BufferPool) feeds per-capacity-class lease
+//! counts into the same profiler so bucket sizing can follow observed
+//! demand.
+//!
+//! Three properties make the profiler safe to leave compiled into the
+//! hot dispatch path:
+//!
+//! * **Near-zero overhead when disabled.**  The executor hoists one
+//!   relaxed [`KernelProfiler::enabled`] load per DAG execution; disabled
+//!   runs take no timestamps and touch no counters.
+//! * **Lock-free when enabled.**  Recording is a handful of relaxed
+//!   atomic adds on a `#[repr(align(128))]` slot owned by the executed
+//!   kind, so concurrent workers executing different motifs never share
+//!   a cache line, and workers executing the same motif contend only on
+//!   that motif's counters.
+//! * **No effect on results.**  Profiling changes *how execution is
+//!   observed*, never what it computes: kernel checksums, report bytes
+//!   and campaign digests are byte-identical with profiling on or off
+//!   (the executor runs unfused while profiling so per-kind attribution
+//!   stays exact — superkernels produce the same checksums either way).
+//!
+//! A [`KernelProfile`] snapshot serializes to JSON lines via
+//! [`dmpb_metrics::json`] (`campaign --profile-out`, the `campaignd`
+//! `/metrics` page renders the same counters), and two consumers close
+//! the profile-guided loop: [`KernelProfile::bucket_plan`] derives
+//! [`BufferPool`](crate::BufferPool) prewarm sizes from the observed
+//! lease-size distribution, and [`rank_fusion_candidates`] orders
+//! adjacent kernel pairs by observed cost to pick superkernel fusion
+//! targets (see [`crate::kernel::FusedKernel`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use dmpb_metrics::histogram::{HistogramSnapshot, LatencyHistogram};
+use dmpb_metrics::json::ObjectWriter;
+
+use crate::class::MotifKind;
+
+/// Number of profiled kinds (one slot per [`MotifKind`]).
+const KINDS: usize = MotifKind::ALL.len();
+
+/// Number of power-of-two lease capacity classes tracked per element
+/// type (mirrors the [`BufferPool`](crate::BufferPool) bucket classes).
+pub const LEASE_CLASSES: usize = usize::BITS as usize + 1;
+
+/// The capacity class of a lease of `len` elements: the smallest `b`
+/// with `2^b >= len` (class 0 covers empty and single-element leases).
+pub fn lease_class(len: usize) -> usize {
+    (usize::BITS - len.max(1).saturating_sub(1).leading_zeros()) as usize
+}
+
+/// One motif kind's counters, padded to two cache lines so concurrent
+/// recorders of *different* kinds never bounce a line between cores.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct KindSlot {
+    invocations: AtomicU64,
+    elements: AtomicU64,
+    ns: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// Lock-free, per-[`MotifKind`] execution counters plus buffer-lease
+/// size distributions (see the [module documentation](self)).
+///
+/// Most callers use the process-wide [`KernelProfiler::global`]; tests
+/// construct private instances.
+#[derive(Debug)]
+pub struct KernelProfiler {
+    enabled: AtomicBool,
+    slots: [KindSlot; KINDS],
+    lease_f64: [AtomicU64; LEASE_CLASSES],
+    lease_f32: [AtomicU64; LEASE_CLASSES],
+}
+
+impl Default for KernelProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelProfiler {
+    /// A disabled profiler with zeroed counters.
+    pub fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            slots: std::array::from_fn(|_| KindSlot::default()),
+            lease_f64: std::array::from_fn(|_| AtomicU64::new(0)),
+            lease_f32: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The process-wide profiler the executor and buffer pool sample
+    /// into.
+    pub fn global() -> &'static KernelProfiler {
+        static PROFILER: OnceLock<KernelProfiler> = OnceLock::new();
+        PROFILER.get_or_init(KernelProfiler::new)
+    }
+
+    /// Whether sampling is on.  One relaxed load — the *only* cost the
+    /// profiler imposes on a disabled hot path.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns sampling on or off, returning the previous state so a
+    /// scoped caller can restore it.  Counters are kept either way;
+    /// pair with [`KernelProfiler::reset`] for a clean measurement
+    /// window.
+    pub fn set_enabled(&self, enabled: bool) -> bool {
+        self.enabled.swap(enabled, Ordering::Relaxed)
+    }
+
+    /// Zeroes every counter (enablement is untouched).  Concurrent
+    /// recorders may slip an observation past a racing reset; callers
+    /// reset between executions, not during one.
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.invocations.store(0, Ordering::Relaxed);
+            slot.elements.store(0, Ordering::Relaxed);
+            slot.ns.store(0, Ordering::Relaxed);
+            slot.latency.reset();
+        }
+        for counter in self.lease_f64.iter().chain(&self.lease_f32) {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one kernel execution.  Callers check
+    /// [`KernelProfiler::enabled`] first (and so avoid taking the
+    /// timestamp at all when sampling is off).
+    pub fn record(&self, kind: MotifKind, elements: usize, elapsed: Duration) {
+        let slot = &self.slots[kind as usize];
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        slot.invocations.fetch_add(1, Ordering::Relaxed);
+        slot.elements.fetch_add(elements as u64, Ordering::Relaxed);
+        slot.ns.fetch_add(ns, Ordering::Relaxed);
+        slot.latency.record_ns(ns);
+    }
+
+    /// Records one `f64` buffer lease of `len` elements (called by the
+    /// pool only while enabled).
+    pub fn record_lease_f64(&self, len: usize) {
+        self.lease_f64[lease_class(len)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `f32` buffer lease of `len` elements.
+    pub fn record_lease_f32(&self, len: usize) {
+        self.lease_f32[lease_class(len)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> KernelProfile {
+        KernelProfile {
+            kinds: MotifKind::ALL
+                .iter()
+                .zip(&self.slots)
+                .map(|(&kind, slot)| KernelProfileEntry {
+                    kind,
+                    invocations: slot.invocations.load(Ordering::Relaxed),
+                    elements: slot.elements.load(Ordering::Relaxed),
+                    ns: slot.ns.load(Ordering::Relaxed),
+                    latency: slot.latency.snapshot(),
+                })
+                .collect(),
+            lease_f64: std::array::from_fn(|i| self.lease_f64[i].load(Ordering::Relaxed)),
+            lease_f32: std::array::from_fn(|i| self.lease_f32[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One [`MotifKind`]'s share of a [`KernelProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelProfileEntry {
+    /// The profiled motif implementation.
+    pub kind: MotifKind,
+    /// Kernel executions recorded.
+    pub invocations: u64,
+    /// Elements processed across all invocations.
+    pub elements: u64,
+    /// Cumulative execution time in nanoseconds.
+    pub ns: u64,
+    /// Per-invocation latency distribution.
+    pub latency: HistogramSnapshot,
+}
+
+/// A point-in-time snapshot of a [`KernelProfiler`]: the raw material
+/// for dispatch reordering, superkernel selection and pool prewarming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Per-kind counters in [`MotifKind::ALL`] order (all 33 entries,
+    /// including never-invoked kinds).
+    pub kinds: Vec<KernelProfileEntry>,
+    /// `f64` lease counts per power-of-two capacity class.
+    pub lease_f64: [u64; LEASE_CLASSES],
+    /// `f32` lease counts per power-of-two capacity class.
+    pub lease_f32: [u64; LEASE_CLASSES],
+}
+
+impl KernelProfile {
+    /// Total kernel invocations across all kinds.
+    pub fn total_invocations(&self) -> u64 {
+        self.kinds.iter().map(|e| e.invocations).sum()
+    }
+
+    /// Total elements processed across all kinds.
+    pub fn total_elements(&self) -> u64 {
+        self.kinds.iter().map(|e| e.elements).sum()
+    }
+
+    /// Total recorded execution time in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.kinds.iter().map(|e| e.ns).sum()
+    }
+
+    /// The counters for one kind.
+    pub fn entry(&self, kind: MotifKind) -> &KernelProfileEntry {
+        &self.kinds[kind as usize]
+    }
+
+    /// Invoked kinds ordered by cumulative time, hottest first (ties
+    /// break on invocations, then [`MotifKind::ALL`] order, so the
+    /// ranking is deterministic).
+    pub fn hottest(&self) -> Vec<&KernelProfileEntry> {
+        let mut hot: Vec<&KernelProfileEntry> =
+            self.kinds.iter().filter(|e| e.invocations > 0).collect();
+        hot.sort_by(|a, b| (b.ns, b.invocations, a.kind).cmp(&(a.ns, a.invocations, b.kind)));
+        hot
+    }
+
+    /// Serializes the profile as JSON lines: one `record:"profile"`
+    /// header with the totals, one `record:"kind"` line per *invoked*
+    /// kind (hottest first), and one `record:"lease"` line per non-empty
+    /// capacity class.  Every line is a flat object readable by
+    /// [`dmpb_metrics::json::parse_object`].
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut header = ObjectWriter::new();
+        header.field_str("record", "profile");
+        header.field_int(
+            "kinds_invoked",
+            self.kinds.iter().filter(|e| e.invocations > 0).count() as i64,
+        );
+        header.field_int("invocations", self.total_invocations() as i64);
+        header.field_int("elements", self.total_elements() as i64);
+        header.field_int("ns", self.total_ns() as i64);
+        out.push_str(&header.finish());
+        out.push('\n');
+        for entry in self.hottest() {
+            let mut w = ObjectWriter::new();
+            w.field_str("record", "kind");
+            w.field_str("kind", entry.kind.name());
+            w.field_str("class", entry.kind.class().name());
+            w.field_int("invocations", entry.invocations as i64);
+            w.field_int("elements", entry.elements as i64);
+            w.field_int("ns", entry.ns as i64);
+            w.field_f64("mean_ns", entry.latency.mean_ns().unwrap_or(0.0));
+            w.field_int("p50_ns", entry.latency.quantile_ns(0.5).unwrap_or(0) as i64);
+            w.field_int(
+                "p95_ns",
+                entry.latency.quantile_ns(0.95).unwrap_or(0) as i64,
+            );
+            w.field_int(
+                "p99_ns",
+                entry.latency.quantile_ns(0.99).unwrap_or(0) as i64,
+            );
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        for (label, classes) in [("f64", &self.lease_f64), ("f32", &self.lease_f32)] {
+            for (class, &count) in classes.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let mut w = ObjectWriter::new();
+                w.field_str("record", "lease");
+                w.field_str("type", label);
+                w.field_int("capacity", (1u64 << class.min(62)) as i64);
+                w.field_int("count", count as i64);
+                out.push_str(&w.finish());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Derives a [`BufferPool`](crate::BufferPool) prewarm plan from the
+    /// observed lease-size distribution: every capacity class that saw
+    /// leases gets buffers proportional to its share of the traffic,
+    /// between 1 and 8 per class.  Deterministic in the profile.
+    pub fn bucket_plan(&self) -> BucketPlan {
+        fn plan(classes: &[u64; LEASE_CLASSES]) -> Vec<PrewarmBucket> {
+            let max = classes.iter().copied().max().unwrap_or(0).max(1);
+            classes
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(class, &count)| PrewarmBucket {
+                    capacity: 1usize << class.min(62),
+                    count: ((count * 8).div_ceil(max) as usize).clamp(1, 8),
+                })
+                .collect()
+        }
+        BucketPlan {
+            f64s: plan(&self.lease_f64),
+            f32s: plan(&self.lease_f32),
+        }
+    }
+}
+
+/// One prewarm instruction of a [`BucketPlan`]: hold `count` free
+/// buffers of `capacity` elements ready before the first lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrewarmBucket {
+    /// Buffer capacity in elements (a power of two — the upper bound of
+    /// the observed capacity class).
+    pub capacity: usize,
+    /// Buffers to keep ready.
+    pub count: usize,
+}
+
+/// A profile-derived pool prewarm plan (see
+/// [`KernelProfile::bucket_plan`] and
+/// [`BufferPool::prewarm`](crate::BufferPool::prewarm)).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BucketPlan {
+    /// Prewarm instructions for `f64` buffers.
+    pub f64s: Vec<PrewarmBucket>,
+    /// Prewarm instructions for `f32` buffers.
+    pub f32s: Vec<PrewarmBucket>,
+}
+
+impl BucketPlan {
+    /// Total buffers the plan asks for, across both element types.
+    pub fn total_buffers(&self) -> usize {
+        self.f64s.iter().chain(&self.f32s).map(|b| b.count).sum()
+    }
+}
+
+/// An adjacent kernel pair ranked as a superkernel fusion candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionCandidate {
+    /// The `(first, second)` motifs of the adjacent edges.
+    pub pair: (MotifKind, MotifKind),
+    /// How often the pair appears adjacently (one count per DAG-plan
+    /// occurrence handed in).
+    pub occurrences: u64,
+    /// Combined profiled execution time of the two kinds, used to break
+    /// occurrence ties in favour of the costlier pair.
+    pub profiled_ns: u64,
+}
+
+/// Ranks adjacent kernel pairs as fusion candidates: by adjacency count
+/// first (a superkernel only pays off where DAGs actually chain the
+/// pair), then by the pair's combined profiled time, then by
+/// [`MotifKind::ALL`] order for determinism.  `adjacent` carries one
+/// entry per observed adjacency (duplicates count occurrences); the
+/// profile supplies the cost tie-breaker.
+pub fn rank_fusion_candidates(
+    adjacent: &[(MotifKind, MotifKind)],
+    profile: &KernelProfile,
+) -> Vec<FusionCandidate> {
+    let mut candidates: Vec<FusionCandidate> = Vec::new();
+    for &pair in adjacent {
+        match candidates.iter_mut().find(|c| c.pair == pair) {
+            Some(c) => c.occurrences += 1,
+            None => candidates.push(FusionCandidate {
+                pair,
+                occurrences: 1,
+                profiled_ns: profile.entry(pair.0).ns + profile.entry(pair.1).ns,
+            }),
+        }
+    }
+    candidates.sort_by(|a, b| {
+        (b.occurrences, b.profiled_ns)
+            .cmp(&(a.occurrences, a.profiled_ns))
+            .then_with(|| a.pair.cmp(&b.pair))
+    });
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpb_metrics::json::parse_object;
+
+    #[test]
+    fn disabled_profiler_reports_empty_profile() {
+        let p = KernelProfiler::new();
+        assert!(!p.enabled());
+        let profile = p.snapshot();
+        assert_eq!(profile.kinds.len(), MotifKind::ALL.len());
+        assert_eq!(profile.total_invocations(), 0);
+        assert!(profile.hottest().is_empty());
+    }
+
+    #[test]
+    fn recording_accumulates_per_kind() {
+        let p = KernelProfiler::new();
+        p.set_enabled(true);
+        p.record(MotifKind::QuickSort, 100, Duration::from_micros(50));
+        p.record(MotifKind::QuickSort, 200, Duration::from_micros(70));
+        p.record(MotifKind::Fft, 64, Duration::from_micros(5));
+        let profile = p.snapshot();
+        let qs = profile.entry(MotifKind::QuickSort);
+        assert_eq!(qs.invocations, 2);
+        assert_eq!(qs.elements, 300);
+        assert_eq!(qs.ns, 120_000);
+        assert_eq!(qs.latency.count, 2);
+        assert_eq!(profile.entry(MotifKind::Fft).invocations, 1);
+        assert_eq!(profile.entry(MotifKind::MergeSort).invocations, 0);
+        assert_eq!(profile.total_invocations(), 3);
+        assert_eq!(profile.total_elements(), 364);
+    }
+
+    #[test]
+    fn hottest_orders_by_cumulative_time() {
+        let p = KernelProfiler::new();
+        p.record(MotifKind::Fft, 1, Duration::from_micros(10));
+        p.record(MotifKind::QuickSort, 1, Duration::from_millis(5));
+        p.record(MotifKind::MinMax, 1, Duration::from_nanos(500));
+        let hot = p.snapshot();
+        let hot = hot.hottest();
+        let kinds: Vec<MotifKind> = hot.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![MotifKind::QuickSort, MotifKind::Fft, MotifKind::MinMax]
+        );
+    }
+
+    #[test]
+    fn reset_zeroes_everything_but_keeps_enablement() {
+        let p = KernelProfiler::new();
+        p.set_enabled(true);
+        p.record(MotifKind::Relu, 10, Duration::from_micros(1));
+        p.record_lease_f64(1024);
+        p.reset();
+        assert!(p.enabled());
+        let profile = p.snapshot();
+        assert_eq!(profile.total_invocations(), 0);
+        assert_eq!(profile.lease_f64.iter().sum::<u64>(), 0);
+        assert_eq!(profile.entry(MotifKind::Relu).latency.count, 0);
+    }
+
+    #[test]
+    fn lease_classes_follow_the_pool_bucketing() {
+        assert_eq!(lease_class(0), 0);
+        assert_eq!(lease_class(1), 0);
+        assert_eq!(lease_class(2), 1);
+        assert_eq!(lease_class(1024), 10);
+        assert_eq!(lease_class(1025), 11);
+        let p = KernelProfiler::new();
+        p.record_lease_f64(100);
+        p.record_lease_f64(128);
+        p.record_lease_f32(4096);
+        let profile = p.snapshot();
+        assert_eq!(profile.lease_f64[lease_class(100)], 2);
+        assert_eq!(profile.lease_f32[lease_class(4096)], 1);
+    }
+
+    #[test]
+    fn jsonl_dump_parses_line_by_line() {
+        let p = KernelProfiler::new();
+        p.record(MotifKind::QuickSort, 512, Duration::from_micros(80));
+        p.record(MotifKind::GraphTraversal, 256, Duration::from_micros(40));
+        p.record_lease_f64(200);
+        let dump = p.snapshot().to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 kinds + 1 lease: {dump}");
+        for line in &lines {
+            parse_object(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+        }
+        assert!(lines[0].contains("\"record\":\"profile\""));
+        assert!(
+            lines[1].contains("\"kind\":\"quick-sort\""),
+            "hottest first"
+        );
+        assert!(lines[3].contains("\"capacity\":256"));
+    }
+
+    #[test]
+    fn bucket_plan_scales_with_traffic_share() {
+        let p = KernelProfiler::new();
+        for _ in 0..80 {
+            p.record_lease_f64(1000); // class 10 dominates
+        }
+        p.record_lease_f64(30); // class 5 is rare
+        let plan = p.snapshot().bucket_plan();
+        assert_eq!(plan.f64s.len(), 2);
+        let rare = plan.f64s.iter().find(|b| b.capacity == 32).unwrap();
+        let hot = plan.f64s.iter().find(|b| b.capacity == 1024).unwrap();
+        assert_eq!(hot.count, 8, "dominant class gets the full allowance");
+        assert_eq!(rare.count, 1, "rare class still gets one buffer");
+        assert!(plan.f32s.is_empty());
+        assert_eq!(plan.total_buffers(), 9);
+    }
+
+    #[test]
+    fn fusion_candidates_rank_by_occurrences_then_profiled_cost() {
+        let p = KernelProfiler::new();
+        p.record(MotifKind::QuickSort, 1, Duration::from_millis(3));
+        p.record(MotifKind::MergeSort, 1, Duration::from_millis(3));
+        p.record(MotifKind::GraphConstruct, 1, Duration::from_millis(2));
+        p.record(MotifKind::GraphTraversal, 1, Duration::from_millis(2));
+        p.record(MotifKind::MinMax, 1, Duration::from_micros(1));
+        let profile = p.snapshot();
+        use MotifKind::*;
+        let adjacent = vec![
+            (GraphConstruct, GraphTraversal),
+            (QuickSort, MergeSort),
+            (MinMax, QuickSort),
+            (GraphConstruct, GraphTraversal),
+            (QuickSort, MergeSort),
+            (MinMax, QuickSort),
+            (GraphConstruct, GraphTraversal),
+            (QuickSort, MergeSort),
+            (MinMax, QuickSort),
+            (Fft, Ifft),
+        ];
+        let ranked = rank_fusion_candidates(&adjacent, &profile);
+        assert_eq!(ranked.len(), 4);
+        // Three pairs tie on occurrences; profiled time breaks the tie.
+        assert_eq!(ranked[0].pair, (QuickSort, MergeSort));
+        assert_eq!(ranked[0].occurrences, 3);
+        assert_eq!(ranked[1].pair, (GraphConstruct, GraphTraversal));
+        assert_eq!(ranked[2].pair, (MinMax, QuickSort));
+        assert_eq!(ranked[3].pair, (Fft, Ifft));
+        assert_eq!(ranked[3].occurrences, 1);
+    }
+}

@@ -24,6 +24,7 @@ use dmpb_core::runner::{fingerprint_cluster, SuiteRunner};
 use dmpb_core::ProxyGenerator;
 use dmpb_metrics::table::{fmt_percent, fmt_speedup, TextTable};
 use dmpb_motifs::workers::WorkerPool;
+use dmpb_motifs::{KernelProfile, KernelProfiler};
 
 use crate::dsl::Scenario;
 use crate::matrix::CampaignCell;
@@ -223,6 +224,7 @@ impl std::error::Error for CampaignError {}
 pub struct CampaignRunner {
     version: u32,
     workers: usize,
+    profile_kernels: bool,
     store: Arc<ResultStore>,
     pool: OnceLock<Arc<WorkerPool>>,
     runners: Mutex<HashMap<u64, Arc<SuiteRunner>>>,
@@ -257,11 +259,31 @@ impl CampaignRunner {
         Self {
             version: CODE_MODEL_VERSION,
             workers: DEFAULT_WORKERS,
+            profile_kernels: false,
             store: Arc::new(store),
             pool: OnceLock::new(),
             runners: Mutex::new(HashMap::new()),
             observer: None,
         }
+    }
+
+    /// Enables kernel-execution profiling for campaigns run through this
+    /// runner: [`CampaignRunner::try_run`] turns the process-global
+    /// [`KernelProfiler`] on before executing (and leaves it on, so a
+    /// sequence of campaigns accumulates one profile — read it with
+    /// [`CampaignRunner::kernel_profile`]).  Profiling never changes
+    /// results: executors suppress superkernel fusion while sampling, and
+    /// reports and digests stay byte-identical.
+    pub fn with_kernel_profiling(mut self, enabled: bool) -> Self {
+        self.profile_kernels = enabled;
+        self
+    }
+
+    /// A point-in-time snapshot of the process-global kernel profile
+    /// (all executors in this process record into it while profiling is
+    /// enabled).
+    pub fn kernel_profile(&self) -> KernelProfile {
+        KernelProfiler::global().snapshot()
     }
 
     /// Registers a per-cell observer, called with every cell's outcome
@@ -362,6 +384,9 @@ impl CampaignRunner {
     /// fix is warm).  Long-running hosts should prefer this over
     /// [`CampaignRunner::run`], which panics on the same condition.
     pub fn try_run(&self, scenario: &Scenario) -> Result<CampaignReport, CampaignError> {
+        if self.profile_kernels {
+            KernelProfiler::global().set_enabled(true);
+        }
         let cells = scenario.expand();
         let requested = scenario
             .workers

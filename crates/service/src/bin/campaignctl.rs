@@ -131,14 +131,36 @@ fn wait(addr: &str, id: &str, timeout: Duration) -> (u16, Vec<(String, String)>,
     }
 }
 
+/// Polls `GET /healthz` until the daemon answers 200, or fails (exit 1)
+/// once the `--timeout-secs` deadline passes.  Every attempt's own
+/// network timeout is capped by the remaining budget, so a black-holed
+/// address (where connects hang rather than getting refused) cannot
+/// overshoot the deadline the way the pre-PR 7 unbounded connect did.
 fn wait_healthy(addr: &str, timeout: Duration) {
     let deadline = Instant::now() + timeout;
+    let mut attempts = 0u32;
+    let mut last_error = String::new();
     loop {
-        if let Ok((200, _, _)) = http_request(addr, "GET", "/healthz", b"", TIMEOUT) {
-            return;
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            fail(format!(
+                "{addr} not healthy after {timeout:?} ({attempts} attempt(s), last error: {}) — \
+                 is campaignd listening there?",
+                if last_error.is_empty() {
+                    "none"
+                } else {
+                    &last_error
+                }
+            ));
         }
-        if Instant::now() >= deadline {
-            fail(format!("{addr} not healthy after {timeout:?}"));
+        attempts += 1;
+        match http_request(addr, "GET", "/healthz", b"", TIMEOUT.min(remaining)) {
+            Ok((200, _, _)) => {
+                println!("campaignctl: {addr} healthy after {attempts} attempt(s)");
+                return;
+            }
+            Ok((status, _, _)) => last_error = format!("/healthz answered {status}"),
+            Err(e) => last_error = e,
         }
         std::thread::sleep(Duration::from_millis(50));
     }

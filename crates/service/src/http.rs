@@ -235,7 +235,16 @@ pub fn http_request(
     body: &[u8],
     timeout: std::time::Duration,
 ) -> Result<ClientResponse, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // `connect_timeout` rather than `connect`: a plain connect blocks
+    // for the kernel's own (minutes-long) timeout on a dead or
+    // firewalled address, which made `campaignctl wait-healthy` ignore
+    // its deadline entirely.
+    let socket_addr = std::net::ToSocketAddrs::to_socket_addrs(addr)
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {addr}: no addresses"))?;
+    let mut stream = TcpStream::connect_timeout(&socket_addr, timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_read_timeout(Some(timeout)).ok();
     stream.set_write_timeout(Some(timeout)).ok();
     let head = format!(

@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 
 use dmpb_metrics::histogram::LATENCY_BUCKET_BOUNDS_NS;
+use dmpb_motifs::KernelProfiler;
 
 use crate::service::ServiceState;
 
@@ -162,6 +163,46 @@ pub(crate) fn render_metrics(state: &ServiceState) -> String {
     let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", latency.count);
     let _ = writeln!(out, "{name}_sum {:.9}", latency.sum_ns as f64 / 1e9);
     let _ = writeln!(out, "{name}_count {}", latency.count);
+
+    // Per-kind kernel execution counters from the process-global
+    // profiler (`serve` turns it on at startup).  Only kinds that have
+    // actually run appear — 33 all-zero series per family would be
+    // exposition noise.
+    let profile = KernelProfiler::global().snapshot();
+    let invoked: Vec<_> = profile.kinds.iter().filter(|k| k.invocations > 0).collect();
+    if !invoked.is_empty() {
+        type EntryValue = fn(&dmpb_motifs::profile::KernelProfileEntry) -> String;
+        let families: [(&str, &str, EntryValue); 3] = [
+            (
+                "dmpb_kernel_invocations_total",
+                "Motif kernel executions by kind.",
+                |k| k.invocations.to_string(),
+            ),
+            (
+                "dmpb_kernel_elements_total",
+                "Elements processed by motif kernels, by kind.",
+                |k| k.elements.to_string(),
+            ),
+            (
+                "dmpb_kernel_seconds_total",
+                "Wall time spent in motif kernels, by kind.",
+                |k| format!("{:.9}", k.ns as f64 / 1e9),
+            ),
+        ];
+        for (name, help, value) in families {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for entry in &invoked {
+                let _ = writeln!(
+                    out,
+                    "{name}{{kind=\"{}\",class=\"{}\"}} {}",
+                    entry.kind.name(),
+                    entry.kind.class().name(),
+                    value(entry)
+                );
+            }
+        }
+    }
 
     out
 }

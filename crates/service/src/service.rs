@@ -203,10 +203,15 @@ pub fn serve(config: ServiceConfig) -> Result<ServiceHandle, String> {
         Some(path) => ResultStore::open(path)?,
         None => ResultStore::in_memory(),
     };
+    dmpb_motifs::KernelProfiler::global().set_enabled(true);
     let latency = Arc::new(LatencyHistogram::new());
     let recorder = Arc::clone(&latency);
+    // A daemon exists to be observed: kernel profiling is always on, so
+    // `/metrics` can expose per-kind execution counters.  Profiling never
+    // changes results (reports and digests are profile-independent).
     let runner = CampaignRunner::with_store(store)
         .with_workers(config.workers.max(1))
+        .with_kernel_profiling(true)
         .with_cell_observer(Arc::new(move |_outcome, wall| recorder.record(wall)));
 
     let listener =

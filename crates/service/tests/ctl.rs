@@ -1,0 +1,85 @@
+//! Bin-level tests for `campaignctl`: the `wait-healthy` deadline must
+//! actually bound the wait — before PR 7 a dead or black-holed address
+//! left the command retrying forever because the underlying connect had
+//! no timeout of its own.
+
+use std::net::TcpListener;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// A local port with nothing listening on it: bind an ephemeral port,
+/// read its number, drop the listener.
+fn dead_port() -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap().port()
+}
+
+#[test]
+fn wait_healthy_times_out_with_nonzero_exit_on_a_dead_port() {
+    let addr = format!("127.0.0.1:{}", dead_port());
+    let start = Instant::now();
+    let output = Command::new(env!("CARGO_BIN_EXE_campaignctl"))
+        .args(["wait-healthy", "--addr", &addr, "--timeout-secs", "2"])
+        .output()
+        .expect("campaignctl runs");
+    let elapsed = start.elapsed();
+
+    assert!(
+        !output.status.success(),
+        "wait-healthy must fail against a dead port"
+    );
+    assert_eq!(output.status.code(), Some(1), "failure exit code is 1");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("not healthy after") && stderr.contains(&addr),
+        "stderr must say what timed out where: {stderr}"
+    );
+    assert!(
+        stderr.contains("attempt"),
+        "stderr must report the attempt count: {stderr}"
+    );
+    // The deadline must bound the wall clock (generous slack for slow
+    // CI runners — the pre-fix behaviour was minutes, not seconds).
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "wait-healthy took {elapsed:?} against a 2s deadline"
+    );
+}
+
+#[test]
+fn wait_healthy_succeeds_against_a_live_listener() {
+    // A hand-rolled one-shot /healthz responder is enough: wait-healthy
+    // only needs a 200.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        // Serve until the client saw its 200 (it may retry connects).
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            use std::io::{Read, Write};
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            let ok = stream
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 3\r\nconnection: close\r\n\r\nok\n")
+                .is_ok();
+            if ok {
+                break;
+            }
+        }
+    });
+
+    let output = Command::new(env!("CARGO_BIN_EXE_campaignctl"))
+        .args(["wait-healthy", "--addr", &addr, "--timeout-secs", "10"])
+        .output()
+        .expect("campaignctl runs");
+    assert!(
+        output.status.success(),
+        "wait-healthy must succeed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&output.stdout).contains("healthy"),
+        "stdout reports health"
+    );
+    server.join().unwrap();
+}

@@ -165,6 +165,14 @@ fn concurrent_clients_then_warm_resubmission_is_store_served() {
         metric_value(&page, "dmpb_cell_latency_seconds_count") as u64,
         3 * cells as u64
     );
+    // The daemon runs with kernel profiling always on, so per-kind
+    // execution counters are exposed once kernels have run.
+    assert!(
+        page.contains("dmpb_kernel_invocations_total{kind=\""),
+        "per-kind kernel counters missing:\n{page}"
+    );
+    assert!(page.contains("dmpb_kernel_elements_total{kind=\""));
+    assert!(page.contains("dmpb_kernel_seconds_total{kind=\""));
 
     // The submission list shows all three campaigns done, in order.
     let (status, _, list) = get(&addr, "/campaigns");
