@@ -17,6 +17,15 @@
 //!   --profile-out <path>      enable kernel-execution profiling and dump
 //!                             the per-kind profile (JSON lines) after
 //!                             the run; results are unchanged
+//!   --chunk-elements <N>      stream sample executions in granule-aligned
+//!                             chunks of at most N elements (bounded peak
+//!                             RSS; results are unchanged; scenario
+//!                             [executor] chunk_elements wins for its run)
+//!
+//! campaign --compact-store <path>
+//!   standalone maintenance mode: rewrites the JSONL store dropping
+//!   records shadowed by first-wins dedup (corrupt lines and torn tails
+//!   are dropped too), then exits
 //! ```
 //!
 //! Exit codes: 0 success, 1 gate failure (regression or hit-ratio miss),
@@ -24,7 +33,7 @@
 
 use std::process::ExitCode;
 
-use dmpb_scenario::{read_records, CampaignRunner, ResultStore, Scenario};
+use dmpb_scenario::{compact_store, read_records, CampaignRunner, ResultStore, Scenario};
 
 struct Options {
     scenario_path: String,
@@ -32,15 +41,18 @@ struct Options {
     baseline: Option<String>,
     write_baseline: Option<String>,
     workers: Option<usize>,
+    chunk_elements: Option<usize>,
     expect_hit_ratio: Option<f64>,
     profile_out: Option<String>,
+    compact_store: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: campaign <scenario.toml> [--store <path>] [--baseline <path>] \
-         [--write-baseline <path>] [--workers <N>] [--expect-hit-ratio <R>] \
-         [--profile-out <path>]"
+         [--write-baseline <path>] [--workers <N>] [--chunk-elements <N>] \
+         [--expect-hit-ratio <R>] [--profile-out <path>]\n\
+         \u{20}      campaign --compact-store <path>"
     );
     ExitCode::from(2)
 }
@@ -53,8 +65,10 @@ fn parse_args() -> Result<Options, ExitCode> {
         baseline: None,
         write_baseline: None,
         workers: None,
+        chunk_elements: None,
         expect_hit_ratio: None,
         profile_out: None,
+        compact_store: None,
     };
     while let Some(arg) = args.next() {
         let mut value_for = |flag: &str| {
@@ -73,6 +87,18 @@ fn parse_args() -> Result<Options, ExitCode> {
                     usage()
                 })?)
             }
+            "--chunk-elements" => {
+                let n: usize = value_for("--chunk-elements")?.parse().map_err(|_| {
+                    eprintln!("campaign: --chunk-elements needs a positive integer");
+                    usage()
+                })?;
+                if n == 0 {
+                    eprintln!("campaign: --chunk-elements needs a positive integer");
+                    return Err(usage());
+                }
+                options.chunk_elements = Some(n);
+            }
+            "--compact-store" => options.compact_store = Some(value_for("--compact-store")?),
             "--expect-hit-ratio" => {
                 let ratio: f64 = value_for("--expect-hit-ratio")?.parse().map_err(|_| {
                     eprintln!("campaign: --expect-hit-ratio needs a number in [0, 1]");
@@ -96,7 +122,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             _ => return Err(usage()),
         }
     }
-    if options.scenario_path.is_empty() {
+    if options.scenario_path.is_empty() && options.compact_store.is_none() {
         return Err(usage());
     }
     Ok(options)
@@ -107,6 +133,24 @@ fn main() -> ExitCode {
         Ok(options) => options,
         Err(code) => return code,
     };
+
+    if let Some(path) = &options.compact_store {
+        match compact_store(std::path::Path::new(path)) {
+            Ok(stats) => {
+                println!(
+                    "campaign: compacted {path}: {} record(s) kept, {} shadowed record(s) dropped",
+                    stats.kept, stats.dropped
+                );
+                if options.scenario_path.is_empty() {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(e) => {
+                eprintln!("campaign: cannot compact {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     let source = match std::fs::read_to_string(&options.scenario_path) {
         Ok(source) => source,
@@ -137,6 +181,9 @@ fn main() -> ExitCode {
     let mut runner = CampaignRunner::with_store(store);
     if let Some(workers) = options.workers {
         runner = runner.with_workers(workers);
+    }
+    if options.chunk_elements.is_some() {
+        runner = runner.with_chunk_elements(options.chunk_elements);
     }
     if options.profile_out.is_some() {
         runner = runner.with_kernel_profiling(true);

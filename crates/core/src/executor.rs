@@ -37,6 +37,17 @@
 //! Fusion is suppressed while profiling (exact per-kind attribution) and
 //! under the stage-barrier oracle, keeping both as independent checks.
 //!
+//! # Streaming (PR 8)
+//!
+//! With [`DagExecutor::with_chunk_elements`] set, every edge executes as
+//! a generate→execute→reduce **stream** of granule-aligned chunks with at
+//! most `max_parallel` chunks in flight, bounding peak RSS by the chunk
+//! budget instead of the edge's total element count — how 10^8-element
+//! cells run in constant memory.  The chunk reduce is an exactly
+//! associative monoid ([`ChunkState`]), so streamed digests equal
+//! monolithic digests at every chunk size and worker count by
+//! construction.
+//!
 //! # Determinism
 //!
 //! The executor's output is byte-identical across worker counts, policies
@@ -55,12 +66,15 @@
 //! produce the same digest.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use dmpb_datagen::chunks::align_chunk_elements;
 use dmpb_datagen::rng::derive_seed;
 use dmpb_motifs::workers::{default_parallel_ceiling, Scope, WorkerPool};
-use dmpb_motifs::{BufferPool, FusedKernel, KernelProfiler, MotifKernel, MotifKind, MotifRegistry};
+use dmpb_motifs::{
+    BufferPool, ChunkState, FusedKernel, KernelProfiler, MotifKernel, MotifKind, MotifRegistry,
+};
 
 use crate::dag::{DagSchedule, EdgeReadiness, ProxyDag};
 
@@ -130,6 +144,7 @@ pub struct DagExecutor {
     ceiling: usize,
     policy: SchedulePolicy,
     fusion: bool,
+    chunk_elements: Option<usize>,
     pool: BufferPool,
     workers: OnceLock<Arc<WorkerPool>>,
 }
@@ -152,6 +167,7 @@ impl DagExecutor {
             ceiling: default_parallel_ceiling(),
             policy: SchedulePolicy::default(),
             fusion: true,
+            chunk_elements: None,
             pool: BufferPool::new(),
             workers: OnceLock::new(),
         }
@@ -200,6 +216,33 @@ impl DagExecutor {
     pub fn with_fusion(mut self, fusion: bool) -> Self {
         self.fusion = fusion;
         self
+    }
+
+    /// Enables (`Some`) or disables (`None`, the default) streamed edge
+    /// execution.
+    ///
+    /// When set, every edge runs generate→execute→reduce per chunk of at
+    /// most `chunk_elements` elements (rounded up to a whole number of
+    /// granules via [`align_chunk_elements`]) instead of materialising
+    /// its whole input at once: chunks are pulled off a shared cursor by
+    /// at most [`Self::max_parallel`] in-flight tasks on the worker pool,
+    /// so peak RSS is bounded by `in-flight tasks x chunk scratch`
+    /// regardless of the edge's total element count.  Streaming is
+    /// digest-identical to monolithic execution by construction (the
+    /// chunk reduce is an exactly associative monoid; see
+    /// [`ChunkState`]), making `chunk_elements` a pure performance/RSS
+    /// knob.  Superkernel fusion is suppressed while streaming — fused
+    /// pairs are digest-invisible anyway, and chunk scheduling replaces
+    /// the spawn elision they provide.
+    pub fn with_chunk_elements(mut self, chunk_elements: Option<usize>) -> Self {
+        self.chunk_elements = chunk_elements.map(align_chunk_elements);
+        self
+    }
+
+    /// The configured streaming chunk size, if streaming is enabled
+    /// (normalised to a granule multiple).
+    pub fn chunk_elements(&self) -> Option<usize> {
+        self.chunk_elements
     }
 
     /// Installs a shared persistent worker pool instead of the lazily
@@ -302,9 +345,10 @@ impl DagExecutor {
     /// Executes every motif edge of `dag` on generated sample data.
     ///
     /// `elements` bounds the per-kernel input size (scaled by each edge's
-    /// weight, with a floor of 16); `seed` drives the per-edge derived
-    /// kernel seeds.  Deterministic in `(dag, elements, seed)` — see the
-    /// [module documentation](self).
+    /// weight, with a floor of 16 that never exceeds the requested
+    /// `elements`, so tiny cells do not over-report); `seed` drives the
+    /// per-edge derived kernel seeds.  Deterministic in `(dag, elements,
+    /// seed)` — see the [module documentation](self).
     pub fn execute(&self, dag: &ProxyDag, elements: usize, seed: u64) -> DagExecution {
         // One schedule derivation: the stage indices and the edge vector
         // come from the same `DagSchedule`, so they cannot drift apart.
@@ -312,12 +356,17 @@ impl DagExecutor {
         let registry = MotifRegistry::global();
 
         // Pre-compute every edge's work item; indices are topological.
+        // The floor keeps every kernel's sample meaningful, but is capped
+        // at the requested cell size so a tiny-element cell's
+        // `total_elements` never exceeds `edges x requested`.
         let work: Vec<(MotifKind, usize, u64)> = schedule
             .edges
             .iter()
             .enumerate()
             .map(|(index, edge)| {
-                let n = ((elements as f64 * edge.weight).ceil() as usize).max(16);
+                let n = ((elements as f64 * edge.weight).ceil() as usize)
+                    .max(16)
+                    .min(elements.max(1));
                 (edge.motif, n, derive_seed(seed, index as u64))
             })
             .collect();
@@ -340,6 +389,7 @@ impl DagExecutor {
         let readiness = schedule.readiness();
         let fusing = self.fusion
             && !profiling
+            && self.chunk_elements.is_none()
             && (workers <= 1 || self.policy == SchedulePolicy::WorkStealing);
         let (fused_next, fused_into) = if fusing {
             Self::fusion_plan(&schedule, &readiness, registry)
@@ -357,6 +407,16 @@ impl DagExecutor {
                     fused.execute((n, edge_seed), (n_next, seed_next), &self.pool);
                 checksums[index].set(first).expect("edge executed twice");
                 checksums[next].set(second).expect("edge executed twice");
+            } else if let Some(chunk) = self.chunk_elements {
+                let checksum = self.execute_edge_streamed(
+                    kernels[index],
+                    motif,
+                    n,
+                    edge_seed,
+                    chunk,
+                    profiling,
+                );
+                checksums[index].set(checksum).expect("edge executed twice");
             } else if profiling {
                 let start = Instant::now();
                 let checksum = kernels[index].execute(n, edge_seed, &self.pool);
@@ -437,6 +497,80 @@ impl DagExecutor {
             checksum,
         }
     }
+
+    /// Runs one edge's kernel as a generate→execute→reduce stream of
+    /// `chunk`-element chunks (the tentpole streaming path).
+    ///
+    /// At most [`Self::max_parallel`] chunk tasks are in flight at once:
+    /// each pulls the next chunk index off a shared cursor, executes it
+    /// chunk-locally (one chunk of generated input + scratch live per
+    /// task) and folds the resulting [`ChunkState`] into a task-local
+    /// accumulator, so peak RSS is bounded by the chunk budget — never by
+    /// `n`.  Task-local states merge into the edge digest through the
+    /// associative reduce, which makes the result independent of chunk
+    /// size, task count and completion order.  When profiling, each chunk
+    /// records its own sample (one `Instant` pair per chunk — the ≤2 %
+    /// overhead bound holds because a chunk is thousands of elements of
+    /// kernel work).
+    fn execute_edge_streamed(
+        &self,
+        kernel: &'static dyn MotifKernel,
+        motif: MotifKind,
+        n: usize,
+        seed: u64,
+        chunk: usize,
+        profiling: bool,
+    ) -> u64 {
+        let run_chunk = |start: usize| {
+            let end = (start + chunk).min(n);
+            if profiling {
+                let t = Instant::now();
+                let state = kernel.execute_chunk(start, end, n, seed, &self.pool);
+                KernelProfiler::global().record(motif, end - start, t.elapsed());
+                state
+            } else {
+                kernel.execute_chunk(start, end, n, seed, &self.pool)
+            }
+        };
+
+        let num_chunks = n.div_ceil(chunk.max(1));
+        let fan_out = self.max_parallel.min(num_chunks.max(1));
+        if fan_out <= 1 {
+            let mut state = ChunkState::IDENTITY;
+            let mut start = 0;
+            while start < n {
+                state.merge(&run_chunk(start));
+                start = (start + chunk).min(n);
+            }
+            return state.finalize(motif);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let merged = Mutex::new(ChunkState::IDENTITY);
+        self.worker_pool().scope(|scope| {
+            for _ in 0..fan_out {
+                let (cursor, merged, run_chunk) = (&cursor, &merged, &run_chunk);
+                scope.spawn(move |_| {
+                    let mut local = ChunkState::IDENTITY;
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= num_chunks {
+                            break;
+                        }
+                        local.merge(&run_chunk(index * chunk));
+                    }
+                    merged
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .merge(&local);
+                });
+            }
+        });
+        let state = merged
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.finalize(motif)
+    }
 }
 
 /// The dependency-counting work item: runs one edge, then decrements every
@@ -505,6 +639,63 @@ mod tests {
         assert_eq!(
             run.total_elements(),
             run.edge_runs.iter().map(|r| r.elements).sum::<usize>()
+        );
+    }
+
+    /// The satellite clamp fix: the 16-element kernel floor must never
+    /// lift a tiny cell's per-edge element count above what was
+    /// requested, so `total_elements` stays bounded by
+    /// `edges x requested`.
+    #[test]
+    fn tiny_cells_do_not_over_report_elements() {
+        for requested in [1usize, 2, 4, 15] {
+            let run = DagExecutor::new().execute(&diamond(), requested, 7);
+            for r in &run.edge_runs {
+                assert!(
+                    r.elements <= requested,
+                    "edge reports {} elements for a {requested}-element cell",
+                    r.elements
+                );
+                assert!(r.elements >= 1, "edges still run at least one element");
+            }
+            assert!(run.total_elements() <= requested * run.kernels_run());
+        }
+        // Normal cells keep the 16-element floor on low-weight edges.
+        let run = DagExecutor::new().execute(&diamond(), 512, 7);
+        assert!(run.edge_runs.iter().all(|r| r.elements >= 16));
+    }
+
+    #[test]
+    fn streamed_execution_is_digest_identical_to_monolithic() {
+        let dag = diamond();
+        let monolithic = DagExecutor::new().execute(&dag, 10_000, 42);
+        for chunk in [1, 4096, 3 * 4096, 1 << 20] {
+            for workers in [1, 8] {
+                let streamed = DagExecutor::new()
+                    .with_max_parallel(workers)
+                    .with_chunk_elements(Some(chunk))
+                    .execute(&dag, 10_000, 42);
+                assert_eq!(
+                    streamed, monolithic,
+                    "streaming must be invisible (chunk={chunk}, workers={workers})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_elements_is_normalised_to_granule_multiples() {
+        let executor = DagExecutor::new().with_chunk_elements(Some(1));
+        assert_eq!(executor.chunk_elements(), Some(4096));
+        let executor = DagExecutor::new().with_chunk_elements(Some(5000));
+        assert_eq!(executor.chunk_elements(), Some(8192));
+        assert_eq!(DagExecutor::new().chunk_elements(), None);
+        assert_eq!(
+            DagExecutor::new()
+                .with_chunk_elements(Some(4096))
+                .with_chunk_elements(None)
+                .chunk_elements(),
+            None
         );
     }
 

@@ -298,6 +298,7 @@ pub struct SuiteRunner {
     base_seed: u64,
     max_parallel: usize,
     intra_parallel: usize,
+    chunk_elements: Option<usize>,
     workers: OnceLock<Arc<WorkerPool>>,
     executor: OnceLock<DagExecutor>,
     cache: TuningCache,
@@ -317,6 +318,7 @@ impl SuiteRunner {
             base_seed: DEFAULT_BASE_SEED,
             max_parallel: WorkloadKind::ALL.len(),
             intra_parallel: 1,
+            chunk_elements: None,
             workers: OnceLock::new(),
             executor: OnceLock::new(),
             cache: TuningCache::new(),
@@ -347,6 +349,17 @@ impl SuiteRunner {
     pub fn with_intra_parallel(mut self, workers: usize) -> Self {
         self.intra_parallel = workers.max(1);
         self.workers = OnceLock::new();
+        self.executor = OnceLock::new();
+        self
+    }
+
+    /// Streams every sample execution in granule-aligned chunks of at
+    /// most `chunk_elements` elements (see
+    /// [`DagExecutor::with_chunk_elements`]).  `None` restores the
+    /// monolithic path.  Streaming is a pure memory/performance axis:
+    /// report digests are identical for any setting.
+    pub fn with_chunk_elements(mut self, chunk_elements: Option<usize>) -> Self {
+        self.chunk_elements = chunk_elements;
         self.executor = OnceLock::new();
         self
     }
@@ -384,6 +397,7 @@ impl SuiteRunner {
         self.executor.get_or_init(|| {
             DagExecutor::new()
                 .with_max_parallel(self.intra_parallel)
+                .with_chunk_elements(self.chunk_elements)
                 .with_worker_pool(Arc::clone(self.worker_pool()))
         })
     }
@@ -598,6 +612,20 @@ mod tests {
             branchy.digest(),
             "intra-proxy branch parallelism must be a pure performance axis"
         );
+    }
+
+    #[test]
+    fn streaming_does_not_change_the_execution_checksum() {
+        let mono =
+            SuiteRunner::new(ClusterConfig::five_node_westmere()).run_kind(WorkloadKind::TeraSort);
+        let streamed = SuiteRunner::new(ClusterConfig::five_node_westmere())
+            .with_chunk_elements(Some(4096))
+            .run_kind(WorkloadKind::TeraSort);
+        assert_eq!(
+            mono.execution.checksum, streamed.execution.checksum,
+            "chunked streaming must be a pure memory/performance axis"
+        );
+        assert_eq!(mono.seed, streamed.seed);
     }
 
     #[test]

@@ -182,9 +182,32 @@ impl ImageGenerator {
 
     /// Generates one batch with values in `[0, 1)` (normalised pixels).
     pub fn generate(&self, shape: TensorShape, layout: TensorLayout) -> ImageTensor {
-        let mut tensor = ImageTensor::zeros(shape, layout);
-        for n in 0..shape.batch {
-            let mut rng = seeded_rng(derive_seed(self.seed, n as u64));
+        self.generate_image_range(shape, layout, 0, shape.batch)
+    }
+
+    /// Generates images `[start, end)` of the logical batch as a tensor of
+    /// batch size `end - start` (image `n` of the output is image
+    /// `start + n` of the logical data set).
+    ///
+    /// Every image's RNG stream is derived from its global index alone, so
+    /// any chunking of `[0, batch)` concatenates (along N) to exactly the
+    /// tensor of [`generate`](Self::generate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn generate_image_range(
+        &self,
+        shape: TensorShape,
+        layout: TensorLayout,
+        start: usize,
+        end: usize,
+    ) -> ImageTensor {
+        assert!(start <= end, "invalid image range {start}..{end}");
+        let chunk_shape = TensorShape::new(end - start, shape.channels, shape.height, shape.width);
+        let mut tensor = ImageTensor::zeros(chunk_shape, layout);
+        for n in 0..chunk_shape.batch {
+            let mut rng = seeded_rng(derive_seed(self.seed, (start + n) as u64));
             for c in 0..shape.channels {
                 for h in 0..shape.height {
                     for w in 0..shape.width {
@@ -251,6 +274,24 @@ mod tests {
             gen.generate(shape, TensorLayout::Nchw),
             gen.generate(shape, TensorLayout::Nchw)
         );
+    }
+
+    #[test]
+    fn chunked_batches_concatenate_to_monolithic_tensor() {
+        let gen = ImageGenerator::new(11);
+        let shape = TensorShape::new(6, 2, 4, 4);
+        let whole = gen.generate(shape, TensorLayout::Nchw);
+        for chunk in [1, 2, 4, 6] {
+            let mut data = Vec::new();
+            let mut start = 0;
+            while start < shape.batch {
+                let end = (start + chunk).min(shape.batch);
+                let part = gen.generate_image_range(shape, TensorLayout::Nchw, start, end);
+                data.extend_from_slice(part.as_slice());
+                start = end;
+            }
+            assert_eq!(data, whole.as_slice(), "chunk={chunk}");
+        }
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   in `NCHW` or `NHWC` layout (AlexNet / Inception-V3 input);
 //! * [`distributions`] — uniform / gaussian / zipf samplers used by all of
 //!   the above;
+//! * [`chunks`] — the granule grid every generator addresses its data set
+//!   on, enabling streaming (chunk-at-a-time) generation that is
+//!   byte-identical to the monolithic path;
 //! * [`descriptor`] — a compact [`descriptor::DataDescriptor`] summarising
 //!   the generated data, consumed by the motif cost models so that the
 //!   performance model sees exactly the data the kernels operate on.
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chunks;
 pub mod descriptor;
 pub mod distributions;
 pub mod graph;
@@ -47,5 +51,6 @@ pub mod rng;
 pub mod text;
 pub mod vectors;
 
+pub use chunks::{align_chunk_elements, chunk_ranges, granule_seed, CHUNK_GRANULE};
 pub use descriptor::{DataClass, DataDescriptor, Distribution};
 pub use rng::seeded_rng;

@@ -275,9 +275,25 @@ impl MatrixSpec {
     /// Generates a dense matrix (zero entries where the sparsity mask
     /// strikes).
     pub fn generate_dense(&self) -> DenseMatrix {
+        self.generate_dense_rows(0, self.rows)
+    }
+
+    /// Generates rows `[start, end)` of the logical matrix as an
+    /// `(end - start) x cols` dense matrix (row `r` of the output is row
+    /// `start + r` of the logical matrix).
+    ///
+    /// Every row's RNG stream is derived from its global index alone, so
+    /// any chunking of `[0, rows)` stacks to exactly the matrix of
+    /// [`generate_dense`](Self::generate_dense).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn generate_dense_rows(&self, start: usize, end: usize) -> DenseMatrix {
+        assert!(start <= end, "invalid row range {start}..{end}");
         let mask = SparsityMask::new(self.sparsity);
-        let mut data = Vec::with_capacity(self.rows * self.cols);
-        for r in 0..self.rows {
+        let mut data = Vec::with_capacity((end - start) * self.cols);
+        for r in start..end {
             let mut rng = seeded_rng(derive_seed(self.seed, r as u64));
             for _ in 0..self.cols {
                 if mask.keep(&mut rng) {
@@ -287,7 +303,7 @@ impl MatrixSpec {
                 }
             }
         }
-        DenseMatrix::from_vec(self.rows, self.cols, data)
+        DenseMatrix::from_vec(end - start, self.cols, data)
     }
 
     /// Generates a CSR sparse matrix.
@@ -321,6 +337,22 @@ mod tests {
         m.set(1, 2, 5.0);
         assert_eq!(m.get(1, 2), 5.0);
         assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn chunked_row_generation_stacks_to_monolithic() {
+        let spec = MatrixSpec::sparse(30, 12, 0.5, 13);
+        let whole = spec.generate_dense();
+        for chunk in [1, 7, 30] {
+            let mut data = Vec::new();
+            let mut start = 0;
+            while start < spec.rows {
+                let end = (start + chunk).min(spec.rows);
+                data.extend_from_slice(spec.generate_dense_rows(start, end).as_slice());
+                start = end;
+            }
+            assert_eq!(data, whole.as_slice(), "chunk={chunk}");
+        }
     }
 
     #[test]

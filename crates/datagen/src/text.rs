@@ -8,6 +8,7 @@
 
 use rand::Rng;
 
+use crate::chunks::{granule_seed, CHUNK_GRANULE};
 use crate::descriptor::{DataClass, DataDescriptor, Distribution};
 use crate::rng::seeded_rng;
 
@@ -104,19 +105,55 @@ impl TextGenerator {
         Self { seed }
     }
 
-    /// Generates `count` records.
+    /// Generates `count` records (the single-chunk case of
+    /// [`generate_range`](Self::generate_range)).
     pub fn generate(&self, count: usize) -> RecordSet {
-        let mut rng = seeded_rng(self.seed);
-        let mut data = vec![0u8; count * RECORD_LEN];
-        for rec in data.chunks_exact_mut(RECORD_LEN) {
-            // Keys: printable ASCII (' ' .. '~'), matching gensort's
-            // uniformly distributed key space.
-            for b in rec[..KEY_LEN].iter_mut() {
-                *b = rng.gen_range(b' '..=b'~');
-            }
-            // Payload: record body bytes are alphanumeric filler.
-            for b in rec[KEY_LEN..].iter_mut() {
-                *b = rng.gen_range(b'A'..=b'Z');
+        self.generate_range(0, count)
+    }
+
+    /// Generates records `[start, end)` of the logical data set.
+    ///
+    /// Each [`CHUNK_GRANULE`]-record granule draws from its own RNG stream
+    /// seeded with `granule_seed(seed, granule_index)`, so any
+    /// granule-aligned chunking of `[0, n)` concatenates to exactly the
+    /// bytes of `generate(n)`; unaligned ranges fast-forward within their
+    /// first granule and remain sub-slices of the same logical data set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn generate_range(&self, start: usize, end: usize) -> RecordSet {
+        assert!(start <= end, "invalid record range {start}..{end}");
+        let mut data = vec![0u8; (end - start) * RECORD_LEN];
+        if start == end {
+            return RecordSet { data };
+        }
+        let mut out = data.chunks_exact_mut(RECORD_LEN);
+        for g in start / CHUNK_GRANULE..=(end - 1) / CHUNK_GRANULE {
+            let mut rng = seeded_rng(granule_seed(self.seed, g as u64));
+            let g_start = g * CHUNK_GRANULE;
+            for i in g_start..(g_start + CHUNK_GRANULE).min(end) {
+                if i < start {
+                    // Burn this record's draws so an unaligned start stays
+                    // in phase with the granule's stream.
+                    for _ in 0..KEY_LEN {
+                        let _ = rng.gen_range(b' '..=b'~');
+                    }
+                    for _ in KEY_LEN..RECORD_LEN {
+                        let _ = rng.gen_range(b'A'..=b'Z');
+                    }
+                    continue;
+                }
+                let rec = out.next().expect("output sized to range");
+                // Keys: printable ASCII (' ' .. '~'), matching gensort's
+                // uniformly distributed key space.
+                for b in rec[..KEY_LEN].iter_mut() {
+                    *b = rng.gen_range(b' '..=b'~');
+                }
+                // Payload: record body bytes are alphanumeric filler.
+                for b in rec[KEY_LEN..].iter_mut() {
+                    *b = rng.gen_range(b'A'..=b'Z');
+                }
             }
         }
         RecordSet { data }
@@ -191,6 +228,35 @@ mod tests {
         let rs = TextGenerator::new(6).generate(0);
         assert!(rs.is_empty());
         assert!(rs.is_sorted_by_key());
+    }
+
+    #[test]
+    fn chunked_generation_concatenates_to_monolithic_bytes() {
+        let total = 2 * CHUNK_GRANULE + 300;
+        let generator = TextGenerator::new(9);
+        let whole = generator.generate(total);
+        for chunk in [CHUNK_GRANULE, 2 * CHUNK_GRANULE] {
+            let mut data = Vec::new();
+            let mut start = 0;
+            while start < total {
+                let end = (start + chunk).min(total);
+                data.extend_from_slice(generator.generate_range(start, end).as_bytes());
+                start = end;
+            }
+            assert_eq!(data, whole.as_bytes(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn unaligned_range_is_a_slice_of_the_logical_data_set() {
+        let generator = TextGenerator::new(10);
+        let whole = generator.generate(CHUNK_GRANULE + 64);
+        let (start, end) = (CHUNK_GRANULE - 7, CHUNK_GRANULE + 5);
+        let part = generator.generate_range(start, end);
+        assert_eq!(
+            part.as_bytes(),
+            &whole.as_bytes()[start * RECORD_LEN..end * RECORD_LEN]
+        );
     }
 
     #[test]

@@ -7,14 +7,36 @@
 //! * [`MotifKernel::cost_profile`] — the analytic cost model (delegating to
 //!   [`crate::cost`]), used to *measure* the motif at the paper's data
 //!   scale without materialising data; and
-//! * [`MotifKernel::execute`] — the real, scaled-down sample kernel, used
-//!   to *run* the motif on generated data and fold its output into a
-//!   checksum.  Scratch storage is leased from a shared, sharded
-//!   [`BufferPool`] (a pool worker leases through its own shard with
-//!   best-fit reuse; see [`crate::pool`]), so a DAG full of kernels
-//!   recycles allocations instead of re-allocating per edge — without
-//!   contending on a global free-list lock under the work-stealing
-//!   executor.
+//! * [`MotifKernel::execute_granule`] — the real sample kernel over one
+//!   **granule** (a fixed [`CHUNK_GRANULE`]-element window of the motif's
+//!   logical input), used to *run* the motif on generated data.  Scratch
+//!   storage is leased from a shared, sharded [`BufferPool`] (a pool
+//!   worker leases through its own shard with best-fit reuse; see
+//!   [`crate::pool`]), so a DAG full of kernels recycles allocations
+//!   instead of re-allocating per granule — without contending on a
+//!   global free-list lock under the work-stealing executor.
+//!
+//! # Streaming execution model
+//!
+//! Every kernel's logical input is addressed on the granule grid defined
+//! by `dmpb_datagen::chunks`: granule `g` of an `n`-element input covers
+//! global elements `[g * CHUNK_GRANULE, (g + 1) * CHUNK_GRANULE).min(n)`
+//! and is generated from the derived seed `granule_seed(seed, g)`.
+//! [`MotifKernel::execute_granule`] maps one granule to a `u64` outcome;
+//! [`MotifKernel::execute_chunk`] folds a granule-aligned chunk of
+//! outcomes into a [`ChunkState`]; and [`ChunkState`] is an exactly
+//! associative, commutative monoid (counts, xor, wrapping sum, min,
+//! max over granule outcomes — no floating-point accumulation), so chunk
+//! states merged in **any** grouping and order finalize to the same
+//! digest.  Monolithic execution ([`MotifKernel::execute`]) is just the
+//! single-chunk case, which is what makes chunked streaming execution
+//! digest-identical to monolithic execution *by construction*, for every
+//! chunk size and worker count.
+//!
+//! Granule bodies are deliberately granule-local — fixed-size buffers,
+//! index-arithmetic fills, no cross-granule state — which keeps peak RSS
+//! constant in the input size and leaves the hot inner loops in a shape
+//! the compiler can auto-vectorize.
 //!
 //! The [`MotifRegistry`] maps every [`MotifKind`] to its kernel object.
 //! Registration happens in one exhaustive `match` (`kernel_for`): adding
@@ -23,15 +45,16 @@
 //! every variant.  Downstream crates dispatch through the registry instead
 //! of maintaining their own `match motif { … }` blocks.
 //!
-//! Execution is deterministic: a kernel's checksum depends only on `(n,
-//! seed)`, never on pool state or thread scheduling (leased buffers are
-//! zero-filled; see [`crate::pool`]).
+//! Execution is deterministic: a kernel's digest depends only on `(n,
+//! seed)`, never on pool state, chunking or thread scheduling (leased
+//! buffers are zero-filled; see [`crate::pool`]).
 
 use std::sync::OnceLock;
 
+use dmpb_datagen::chunks::{granule_seed, CHUNK_GRANULE};
 use dmpb_datagen::image::{ImageGenerator, TensorLayout, TensorShape};
 use dmpb_datagen::matrix::MatrixSpec;
-use dmpb_datagen::text::TextGenerator;
+use dmpb_datagen::text::{TextGenerator, KEY_LEN};
 use dmpb_datagen::DataDescriptor;
 use dmpb_perfmodel::profile::OpProfile;
 
@@ -60,6 +83,26 @@ fn hash_bytes(bytes: &[u8]) -> u64 {
     h
 }
 
+fn hash_keys(keys: &[[u8; KEY_LEN]]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for key in keys {
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+fn hash_u64s<I: IntoIterator<Item = u64>>(values: I) -> u64 {
+    let mut h = FNV_OFFSET;
+    for v in values {
+        h ^= v;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 fn hash_f64s<I: IntoIterator<Item = f64>>(values: I) -> u64 {
     let mut h = FNV_OFFSET;
     for v in values {
@@ -69,12 +112,128 @@ fn hash_f64s<I: IntoIterator<Item = f64>>(values: I) -> u64 {
     h
 }
 
+// --- Granule execution context and the chunk-reduce monoid ---------------
+
+/// The execution context of one granule of a motif's logical input.
+///
+/// A granule is the fixed [`CHUNK_GRANULE`]-element window
+/// `[start, end)` of an `total`-element input (only the input's last
+/// granule may be partial).  Granule bodies address their data through
+/// **global** element indices (`start + i`) and the granule-derived
+/// [`seed`](GranuleCtx::seed), which is what makes a granule's outcome
+/// independent of how the input was chunked.
+#[derive(Debug, Clone, Copy)]
+pub struct GranuleCtx {
+    /// Global index of the granule's first element.
+    pub start: usize,
+    /// Global index one past the granule's last element.
+    pub end: usize,
+    /// Total number of elements in the motif's logical input.
+    pub total: usize,
+    /// The input data set's seed (shared by every granule of the input).
+    pub dataset_seed: u64,
+    /// This granule's derived seed: `granule_seed(dataset_seed, index)`.
+    pub seed: u64,
+}
+
+impl GranuleCtx {
+    /// Number of elements in the granule.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the granule is empty (never, for granules the default
+    /// [`MotifKernel::execute_chunk`] constructs).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The granule's index on the input's granule grid.
+    pub fn index(&self) -> u64 {
+        (self.start / CHUNK_GRANULE) as u64
+    }
+}
+
+/// The associative reduce state of chunked motif execution.
+///
+/// A `ChunkState` summarises any set of granule outcomes with exactly
+/// associative, commutative integer folds: granule/element counts, a
+/// position-salted xor, a wrapping sum and min/max of the outcomes.  No
+/// floating-point accumulation crosses granules (float addition is not
+/// bit-associative), so [`merge`](ChunkState::merge)-ing chunk states in
+/// any grouping and order — one chunk per granule, one chunk for the
+/// whole input, or anything between, reduced on any number of workers —
+/// [`finalize`](ChunkState::finalize)s to the same digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkState {
+    /// Number of granules folded in.
+    pub granules: u64,
+    /// Number of input elements folded in.
+    pub elements: u64,
+    /// Xor of granule outcomes, each rotated by its granule index.
+    pub xor: u64,
+    /// Wrapping sum of granule outcomes.
+    pub sum: u64,
+    /// Minimum granule outcome (`u64::MAX` for the identity).
+    pub min: u64,
+    /// Maximum granule outcome (0 for the identity).
+    pub max: u64,
+}
+
+impl ChunkState {
+    /// The monoid identity: merging it into any state is a no-op.
+    pub const IDENTITY: ChunkState = ChunkState {
+        granules: 0,
+        elements: 0,
+        xor: 0,
+        sum: 0,
+        min: u64::MAX,
+        max: 0,
+    };
+
+    /// Folds one granule's outcome into the state.
+    pub fn absorb(&mut self, granule_index: u64, elements: usize, outcome: u64) {
+        self.granules += 1;
+        self.elements += elements as u64;
+        // Salt the xor with the granule's position so equal outcomes at
+        // different positions do not cancel.
+        self.xor ^= outcome.rotate_left((granule_index % 64) as u32);
+        self.sum = self.sum.wrapping_add(outcome);
+        self.min = self.min.min(outcome);
+        self.max = self.max.max(outcome);
+    }
+
+    /// Merges another chunk's state into this one (associative and
+    /// commutative).
+    pub fn merge(&mut self, other: &ChunkState) {
+        self.granules += other.granules;
+        self.elements += other.elements;
+        self.xor ^= other.xor;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Folds the state into the motif's execution digest.
+    pub fn finalize(&self, kind: MotifKind) -> u64 {
+        hash_u64s([
+            kind as u64,
+            self.granules,
+            self.elements,
+            self.xor,
+            self.sum,
+            self.min,
+            self.max,
+        ])
+    }
+}
+
 /// One data-motif implementation behind a uniform cost/execution interface.
 ///
 /// Implementations are stateless singletons owned by the [`MotifRegistry`];
 /// all per-invocation state lives in the arguments (and the leased pool
 /// buffers), which is what makes concurrent execution of independent DAG
-/// branches safe.
+/// branches — and of independent chunks of one edge — safe.
 pub trait MotifKernel: Send + Sync + std::fmt::Debug {
     /// Which motif implementation this kernel realises.
     fn kind(&self) -> MotifKind;
@@ -86,16 +245,73 @@ pub trait MotifKernel: Send + Sync + std::fmt::Debug {
         cost::cost_profile(self.kind(), data, config)
     }
 
+    /// Executes the sample kernel over one granule of generated input and
+    /// returns the granule's outcome.  Deterministic in the context alone
+    /// (global element range, total size and seeds) — never in pool state
+    /// or scheduling.
+    fn execute_granule(&self, g: &GranuleCtx, pool: &BufferPool) -> u64;
+
+    /// Executes the granule-aligned chunk `[start, end)` of an
+    /// `total`-element input seeded with `seed`, folding every granule's
+    /// outcome into a [`ChunkState`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not granule-aligned, or if `end` is neither
+    /// granule-aligned nor the end of the input.
+    fn execute_chunk(
+        &self,
+        start: usize,
+        end: usize,
+        total: usize,
+        seed: u64,
+        pool: &BufferPool,
+    ) -> ChunkState {
+        assert!(
+            start <= end && end <= total,
+            "invalid chunk {start}..{end} of {total}"
+        );
+        assert!(
+            start % CHUNK_GRANULE == 0,
+            "chunk start {start} splits a granule"
+        );
+        assert!(
+            end % CHUNK_GRANULE == 0 || end == total,
+            "chunk end {end} splits a granule"
+        );
+        let mut state = ChunkState::IDENTITY;
+        let mut cursor = start;
+        while cursor < end {
+            let index = (cursor / CHUNK_GRANULE) as u64;
+            let g = GranuleCtx {
+                start: cursor,
+                end: (cursor + CHUNK_GRANULE).min(end),
+                total,
+                dataset_seed: seed,
+                seed: granule_seed(seed, index),
+            };
+            let outcome = self.execute_granule(&g, pool);
+            state.absorb(index, g.len(), outcome);
+            cursor = g.end;
+        }
+        state
+    }
+
     /// Really executes the scaled-down sample kernel over `n` generated
-    /// elements, leasing scratch storage from `pool`, and returns a
-    /// checksum over the output.  Deterministic in `(n, seed)`.
-    fn execute(&self, n: usize, seed: u64, pool: &BufferPool) -> u64;
+    /// elements, leasing scratch storage from `pool`, and returns the
+    /// execution digest.  Defined as the single-chunk case of
+    /// [`execute_chunk`](Self::execute_chunk), so it is digest-identical
+    /// to any chunked execution of the same `(n, seed)` by construction.
+    fn execute(&self, n: usize, seed: u64, pool: &BufferPool) -> u64 {
+        self.execute_chunk(0, n, n, seed, pool)
+            .finalize(self.kind())
+    }
 }
 
 /// Declares a private unit struct implementing [`MotifKernel`] for one
-/// [`MotifKind`], with the `execute` body written inline.
+/// [`MotifKind`], with the `execute_granule` body written inline.
 macro_rules! kernel {
-    ($struct:ident, $kind:ident, |$n:ident, $seed:ident, $pool:ident| $body:expr) => {
+    ($struct:ident, $kind:ident, |$g:ident, $pool:ident| $body:expr) => {
         #[derive(Debug)]
         struct $struct;
 
@@ -105,7 +321,7 @@ macro_rules! kernel {
             }
 
             #[allow(unused_variables)]
-            fn execute(&self, $n: usize, $seed: u64, $pool: &BufferPool) -> u64 {
+            fn execute_granule(&self, $g: &GranuleCtx, $pool: &BufferPool) -> u64 {
                 $body
             }
         }
@@ -114,77 +330,105 @@ macro_rules! kernel {
 
 // --- Big-data kernels ----------------------------------------------------
 
-kernel!(QuickSortKernel, QuickSort, |n, seed, pool| {
-    let mut keys = TextGenerator::new(seed).generate(n).keys();
+kernel!(QuickSortKernel, QuickSort, |g, pool| {
+    let mut keys = TextGenerator::new(g.dataset_seed)
+        .generate_range(g.start, g.end)
+        .keys();
     sort::quick_sort(&mut keys);
-    hash_bytes(&keys[0])
+    hash_keys(&keys)
 });
 
-kernel!(MergeSortKernel, MergeSort, |n, seed, pool| {
-    let keys = TextGenerator::new(seed).generate(n).keys();
-    let sorted = sort::merge_sort(&keys);
-    hash_bytes(&sorted[sorted.len() / 2])
+kernel!(MergeSortKernel, MergeSort, |g, pool| {
+    let keys = TextGenerator::new(g.dataset_seed)
+        .generate_range(g.start, g.end)
+        .keys();
+    hash_keys(&sort::merge_sort(&keys))
 });
 
-kernel!(RandomSamplingKernel, RandomSampling, |n, seed, pool| {
-    sampling::random_sample_indices(n, 0.1, seed).len() as u64
+kernel!(RandomSamplingKernel, RandomSampling, |g, pool| {
+    let start = g.start as u64;
+    hash_u64s(
+        sampling::random_sample_indices(g.len(), 0.1, g.seed)
+            .into_iter()
+            .map(|i| start + i as u64),
+    )
 });
 
-kernel!(IntervalSamplingKernel, IntervalSampling, |n, seed, pool| {
-    sampling::interval_sample_indices(n, 10, 0).len() as u64
+kernel!(IntervalSamplingKernel, IntervalSampling, |g, pool| {
+    // First local index whose *global* index is a multiple of 10, so the
+    // union over granules is exactly the global 1-in-10 progression.
+    let offset = (10 - g.start % 10) % 10;
+    let start = g.start as u64;
+    hash_u64s(
+        sampling::interval_sample_indices(g.len(), 10, offset)
+            .into_iter()
+            .map(|i| start + i as u64),
+    )
 });
 
-fn set_inputs(n: usize) -> (Vec<u64>, Vec<u64>) {
-    let a: Vec<u64> = (0..n as u64).map(|i| i * 3 % (n as u64).max(1)).collect();
-    let b: Vec<u64> = (0..n as u64).map(|i| i * 7 % (n as u64).max(1)).collect();
+fn set_inputs(g: &GranuleCtx) -> (Vec<u64>, Vec<u64>) {
+    let total = (g.total as u64).max(1);
+    let a: Vec<u64> = (g.start as u64..g.end as u64)
+        .map(|i| i * 3 % total)
+        .collect();
+    let b: Vec<u64> = (g.start as u64..g.end as u64)
+        .map(|i| i * 7 % total)
+        .collect();
     (set_ops::normalize(&a), set_ops::normalize(&b))
 }
 
-kernel!(SetUnionKernel, SetUnion, |n, seed, pool| {
-    let (a, b) = set_inputs(n);
-    set_ops::union(&a, &b).len() as u64
+kernel!(SetUnionKernel, SetUnion, |g, pool| {
+    let (a, b) = set_inputs(g);
+    hash_u64s(set_ops::union(&a, &b))
 });
 
-kernel!(SetIntersectionKernel, SetIntersection, |n, seed, pool| {
-    let (a, b) = set_inputs(n);
-    set_ops::intersection(&a, &b).len() as u64
+kernel!(SetIntersectionKernel, SetIntersection, |g, pool| {
+    let (a, b) = set_inputs(g);
+    hash_u64s(set_ops::intersection(&a, &b))
 });
 
-kernel!(SetDifferenceKernel, SetDifference, |n, seed, pool| {
-    let (a, b) = set_inputs(n);
-    set_ops::difference(&a, &b).len() as u64
+kernel!(SetDifferenceKernel, SetDifference, |g, pool| {
+    let (a, b) = set_inputs(g);
+    hash_u64s(set_ops::difference(&a, &b))
 });
 
-fn sample_graph(n: usize) -> dmpb_datagen::graph::CsrGraph {
-    let vertices = n.max(8);
+fn granule_graph(g: &GranuleCtx) -> dmpb_datagen::graph::CsrGraph {
+    let vertices = g.len().max(8);
+    let salt = g.start;
     let edges: Vec<(u32, u32)> = (0..vertices * 4)
-        .map(|i| ((i % vertices) as u32, ((i * 31 + 7) % vertices) as u32))
+        .map(|i| {
+            (
+                (i % vertices) as u32,
+                ((i * 31 + 7 + salt) % vertices) as u32,
+            )
+        })
         .collect();
     graph_ops::construct(vertices, &edges)
 }
 
-kernel!(GraphConstructKernel, GraphConstruct, |n, seed, pool| {
-    sample_graph(n).num_edges() as u64
+kernel!(GraphConstructKernel, GraphConstruct, |g, pool| {
+    let graph = granule_graph(g);
+    hash_u64s([graph.num_edges() as u64, graph.max_out_degree() as u64])
 });
 
-kernel!(GraphTraversalKernel, GraphTraversal, |n, seed, pool| {
-    graph_ops::traversal_reach(&sample_graph(n), 0) as u64
+kernel!(GraphTraversalKernel, GraphTraversal, |g, pool| {
+    graph_ops::traversal_reach(&granule_graph(g), 0) as u64
 });
 
-fn statistics_values(pool: &BufferPool, n: usize) -> crate::pool::Lease<'_, f64> {
-    let mut values = pool.f64s(n);
+fn statistics_values<'p>(pool: &'p BufferPool, g: &GranuleCtx) -> crate::pool::Lease<'p, f64> {
+    let mut values = pool.f64s(g.len());
     for (i, v) in values.iter_mut().enumerate() {
-        *v = (i as f64 * 0.37).sin();
+        *v = ((g.start + i) as f64 * 0.37).sin();
     }
     values
 }
 
-kernel!(CountStatisticsKernel, CountStatistics, |n, seed, pool| {
-    hash_f64s([statistics::count_average(&statistics_values(pool, n)).1])
+kernel!(CountStatisticsKernel, CountStatistics, |g, pool| {
+    hash_f64s([statistics::count_average(&statistics_values(pool, g)).1])
 });
 
-kernel!(MinMaxKernel, MinMax, |n, seed, pool| {
-    let values = statistics_values(pool, n);
+kernel!(MinMaxKernel, MinMax, |g, pool| {
+    let values = statistics_values(pool, g);
     let (min, max) = statistics::min_max(&values).unwrap_or((0.0, 0.0));
     hash_f64s([min, max])
 });
@@ -192,161 +436,157 @@ kernel!(MinMaxKernel, MinMax, |n, seed, pool| {
 kernel!(
     ProbabilityStatisticsKernel,
     ProbabilityStatistics,
-    |n, seed, pool| {
-        let keys: Vec<u32> = (0..n).map(|i| (i % 17) as u32).collect();
+    |g, pool| {
+        let keys: Vec<u32> = (g.start..g.end).map(|i| (i % 17) as u32).collect();
         statistics::probabilities(&keys).len() as u64
     }
 );
 
-kernel!(Md5HashKernel, Md5Hash, |n, seed, pool| {
-    let data = TextGenerator::new(seed).generate(n.min(512));
+kernel!(Md5HashKernel, Md5Hash, |g, pool| {
+    let data = TextGenerator::new(g.dataset_seed).generate_range(g.start, g.end);
     hash_bytes(&logic::md5(data.as_bytes()))
 });
 
-kernel!(EncryptionKernel, Encryption, |n, seed, pool| {
-    let data = TextGenerator::new(seed).generate(n.min(512));
-    hash_bytes(&logic::xor_encrypt(data.as_bytes(), seed | 1))
+kernel!(EncryptionKernel, Encryption, |g, pool| {
+    let data = TextGenerator::new(g.dataset_seed).generate_range(g.start, g.end);
+    hash_bytes(&logic::xor_encrypt(data.as_bytes(), g.seed | 1))
 });
 
-fn fft_signal(pool: &BufferPool, n: usize) -> crate::pool::Lease<'_, f64> {
-    let len = n.next_power_of_two().clamp(64, 4096);
+fn fft_signal<'p>(pool: &'p BufferPool, g: &GranuleCtx) -> crate::pool::Lease<'p, f64> {
+    let len = g.len().next_power_of_two().clamp(64, 4096);
     let mut signal = pool.f64s(len);
     for (i, v) in signal.iter_mut().enumerate() {
-        *v = (i as f64 * 0.11).cos();
+        *v = ((g.start + i) as f64 * 0.11).cos();
     }
     signal
 }
 
-kernel!(FftKernel, Fft, |n, seed, pool| {
-    let spectrum = transform::fft_real(&fft_signal(pool, n));
+kernel!(FftKernel, Fft, |g, pool| {
+    let spectrum = transform::fft_real(&fft_signal(pool, g));
     hash_f64s(spectrum.into_iter().map(|(re, _)| re))
 });
 
-kernel!(IfftKernel, Ifft, |n, seed, pool| {
-    let spectrum = transform::fft_real(&fft_signal(pool, n));
+kernel!(IfftKernel, Ifft, |g, pool| {
+    let spectrum = transform::fft_real(&fft_signal(pool, g));
     hash_f64s(transform::ifft_real(&spectrum))
 });
 
-kernel!(DctKernel, Dct, |n, seed, pool| {
-    let mut samples = pool.f64s(n.min(256));
+kernel!(DctKernel, Dct, |g, pool| {
+    // dct2 is O(len^2); capping the transform keeps the kernel linear in
+    // the granule count at a fixed per-granule cost.
+    let mut samples = pool.f64s(g.len().min(256));
     for (i, v) in samples.iter_mut().enumerate() {
-        *v = (i as f64 * 0.21).sin();
+        *v = ((g.start + i) as f64 * 0.21).sin();
     }
     hash_f64s(transform::dct2(&samples))
 });
 
-kernel!(
-    DistanceCalculationKernel,
-    DistanceCalculation,
-    |n, seed, pool| {
-        let dim = 32;
-        let mut a = pool.f64s(dim);
-        let mut b = pool.f64s(dim);
-        for i in 0..dim {
-            a[i] = (i as f64 * 0.3).sin();
-            b[i] = (i as f64 * 0.7).cos();
-        }
-        hash_f64s([
-            matrix_ops::euclidean_distance(&a, &b),
-            matrix_ops::cosine_distance(&a, &b),
-        ])
+kernel!(DistanceCalculationKernel, DistanceCalculation, |g, pool| {
+    let dim = g.len();
+    let mut a = pool.f64s(dim);
+    let mut b = pool.f64s(dim);
+    for i in 0..dim {
+        a[i] = ((g.start + i) as f64 * 0.3).sin();
+        b[i] = ((g.start + i) as f64 * 0.7).cos();
     }
-);
+    hash_f64s([
+        matrix_ops::euclidean_distance(&a, &b),
+        matrix_ops::cosine_distance(&a, &b),
+    ])
+});
 
-kernel!(MatrixMultiplyKernel, MatrixMultiply, |n, seed, pool| {
-    let size = (n as f64).sqrt().ceil().clamp(4.0, 64.0) as usize;
-    let a = MatrixSpec::dense(size, size, seed).generate_dense();
-    let b = MatrixSpec::dense(size, size, seed ^ 1).generate_dense();
+kernel!(MatrixMultiplyKernel, MatrixMultiply, |g, pool| {
+    let size = (g.len() as f64).sqrt().ceil().clamp(4.0, 64.0) as usize;
+    let a = MatrixSpec::dense(size, size, g.seed).generate_dense();
+    let b = MatrixSpec::dense(size, size, g.seed ^ 1).generate_dense();
     hash_f64s([matrix_ops::matrix_multiply(&a, &b).frobenius_norm()])
 });
 
 // --- AI kernels ----------------------------------------------------------
 
-kernel!(ConvolutionKernel, Convolution, |n, seed, pool| {
-    let t = ImageGenerator::new(seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
+fn granule_tensor(g: &GranuleCtx) -> dmpb_datagen::image::ImageTensor {
+    ImageGenerator::new(g.seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw)
+}
+
+kernel!(ConvolutionKernel, Convolution, |g, pool| {
     let filters = FilterBank::constant(4, 3, 3, 0.1);
     hash_f64s(
-        conv2d(&t, &filters, 1, Padding::Same)
+        conv2d(&granule_tensor(g), &filters, 1, Padding::Same)
             .as_slice()
             .iter()
             .map(|&v| f64::from(v)),
     )
 });
 
-kernel!(MaxPoolingKernel, MaxPooling, |n, seed, pool| {
-    let t = ImageGenerator::new(seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
+kernel!(MaxPoolingKernel, MaxPooling, |g, pool| {
     hash_f64s(
-        max_pool2d(&t, 2, 2)
+        max_pool2d(&granule_tensor(g), 2, 2)
             .as_slice()
             .iter()
             .map(|&v| f64::from(v)),
     )
 });
 
-kernel!(AveragePoolingKernel, AveragePooling, |n, seed, pool| {
-    let t = ImageGenerator::new(seed).generate(TensorShape::new(1, 3, 16, 16), TensorLayout::Nchw);
+kernel!(AveragePoolingKernel, AveragePooling, |g, pool| {
     hash_f64s(
-        average_pool2d(&t, 2, 2)
+        average_pool2d(&granule_tensor(g), 2, 2)
             .as_slice()
             .iter()
             .map(|&v| f64::from(v)),
     )
 });
 
-kernel!(FullyConnectedKernel, FullyConnected, |n, seed, pool| {
-    let mut input = pool.f32s(64);
+kernel!(FullyConnectedKernel, FullyConnected, |g, pool| {
+    let batch = (g.len() / 64).max(1);
+    let mut input = pool.f32s(batch * 64);
     for (i, v) in input.iter_mut().enumerate() {
-        *v = i as f32 * 0.01;
+        *v = (g.start + i) as f32 * 0.01;
     }
     let mut weights = pool.f32s(64 * 8);
     for (i, v) in weights.iter_mut().enumerate() {
         *v = (i % 7) as f32 * 0.1;
     }
-    let out = fully_connected::fully_connected(&input, &weights, &[0.0; 8], 1, 64, 8);
+    let out = fully_connected::fully_connected(&input, &weights, &[0.0; 8], batch, 64, 8);
     hash_f64s(out.into_iter().map(f64::from))
 });
 
-kernel!(
-    ElementWiseMultiplyKernel,
-    ElementWiseMultiply,
-    |n, seed, pool| {
-        let mut a = pool.f32s(n.min(1024));
-        for (i, v) in a.iter_mut().enumerate() {
-            *v = i as f32 * 0.5;
-        }
-        hash_f64s(
-            fully_connected::element_wise_multiply(&a, &a)
-                .into_iter()
-                .map(f64::from),
-        )
+kernel!(ElementWiseMultiplyKernel, ElementWiseMultiply, |g, pool| {
+    let mut a = pool.f32s(g.len());
+    for (i, v) in a.iter_mut().enumerate() {
+        *v = (g.start + i) as f32 * 0.5;
     }
-);
+    hash_f64s(
+        fully_connected::element_wise_multiply(&a, &a)
+            .into_iter()
+            .map(f64::from),
+    )
+});
 
-fn activation_input(pool: &BufferPool, n: usize) -> crate::pool::Lease<'_, f32> {
-    let mut x = pool.f32s(n.min(1024));
+fn activation_input<'p>(pool: &'p BufferPool, g: &GranuleCtx) -> crate::pool::Lease<'p, f32> {
+    let mut x = pool.f32s(g.len());
     for (i, v) in x.iter_mut().enumerate() {
-        *v = (i as f32 - 512.0) * 0.01;
+        *v = ((g.start + i) as f32 - 512.0) * 0.01;
     }
     x
 }
 
-kernel!(SigmoidKernel, Sigmoid, |n, seed, pool| {
-    let x = activation_input(pool, n);
+kernel!(SigmoidKernel, Sigmoid, |g, pool| {
+    let x = activation_input(pool, g);
     hash_f64s(activation::sigmoid(&x).into_iter().map(f64::from))
 });
 
-kernel!(TanhKernel, Tanh, |n, seed, pool| {
-    let x = activation_input(pool, n);
+kernel!(TanhKernel, Tanh, |g, pool| {
+    let x = activation_input(pool, g);
     hash_f64s(activation::tanh(&x).into_iter().map(f64::from))
 });
 
-kernel!(ReluKernel, Relu, |n, seed, pool| {
-    let x = activation_input(pool, n);
+kernel!(ReluKernel, Relu, |g, pool| {
+    let x = activation_input(pool, g);
     hash_f64s(activation::relu(&x).into_iter().map(f64::from))
 });
 
-kernel!(SoftmaxKernel, Softmax, |n, seed, pool| {
-    let x = activation_input(pool, n);
+kernel!(SoftmaxKernel, Softmax, |g, pool| {
+    let x = activation_input(pool, g);
     hash_f64s(
         activation::softmax(&x, x.len().max(1))
             .into_iter()
@@ -354,65 +594,57 @@ kernel!(SoftmaxKernel, Softmax, |n, seed, pool| {
     )
 });
 
-kernel!(DropoutKernel, Dropout, |n, seed, pool| {
-    let mut x = pool.f32s(n.min(1024));
+kernel!(DropoutKernel, Dropout, |g, pool| {
+    let mut x = pool.f32s(g.len());
     x.fill(1.0);
     hash_f64s(
-        regularization::dropout(&x, 0.5, seed)
+        regularization::dropout(&x, 0.5, g.seed)
             .into_iter()
             .map(f64::from),
     )
 });
 
-fn normalization_input(pool: &BufferPool, n: usize) -> crate::pool::Lease<'_, f32> {
-    let mut x = pool.f32s(n.min(1024));
+fn normalization_input<'p>(pool: &'p BufferPool, g: &GranuleCtx) -> crate::pool::Lease<'p, f32> {
+    let mut x = pool.f32s(g.len());
     for (i, v) in x.iter_mut().enumerate() {
-        *v = i as f32 * 0.3;
+        *v = (g.start + i) as f32 * 0.3;
     }
     x
 }
 
-kernel!(
-    BatchNormalizationKernel,
-    BatchNormalization,
-    |n, seed, pool| {
-        let x = normalization_input(pool, n);
-        hash_f64s(
-            normalization::cosine_normalize(&x)
-                .into_iter()
-                .map(f64::from),
-        )
-    }
-);
-
-kernel!(
-    CosineNormalizationKernel,
-    CosineNormalization,
-    |n, seed, pool| {
-        let x = normalization_input(pool, n);
-        hash_f64s(
-            normalization::cosine_normalize(&x)
-                .into_iter()
-                .map(f64::from),
-        )
-    }
-);
-
-fn reduce_input(pool: &BufferPool, n: usize) -> crate::pool::Lease<'_, f32> {
-    let mut x = pool.f32s(n.min(4096));
-    for (i, v) in x.iter_mut().enumerate() {
-        *v = i as f32;
-    }
-    x
-}
-
-kernel!(ReduceSumKernel, ReduceSum, |n, seed, pool| {
-    hash_f64s([f64::from(reduce::reduce_sum(&reduce_input(pool, n)))])
+kernel!(BatchNormalizationKernel, BatchNormalization, |g, pool| {
+    let x = normalization_input(pool, g);
+    hash_f64s(
+        normalization::cosine_normalize(&x)
+            .into_iter()
+            .map(f64::from),
+    )
 });
 
-kernel!(ReduceMaxKernel, ReduceMax, |n, seed, pool| {
+kernel!(CosineNormalizationKernel, CosineNormalization, |g, pool| {
+    let x = normalization_input(pool, g);
+    hash_f64s(
+        normalization::cosine_normalize(&x)
+            .into_iter()
+            .map(f64::from),
+    )
+});
+
+fn reduce_input<'p>(pool: &'p BufferPool, g: &GranuleCtx) -> crate::pool::Lease<'p, f32> {
+    let mut x = pool.f32s(g.len());
+    for (i, v) in x.iter_mut().enumerate() {
+        *v = (g.start + i) as f32;
+    }
+    x
+}
+
+kernel!(ReduceSumKernel, ReduceSum, |g, pool| {
+    hash_f64s([f64::from(reduce::reduce_sum(&reduce_input(pool, g)))])
+});
+
+kernel!(ReduceMaxKernel, ReduceMax, |g, pool| {
     hash_f64s([f64::from(
-        reduce::reduce_max(&reduce_input(pool, n)).unwrap_or(0.0),
+        reduce::reduce_max(&reduce_input(pool, g)).unwrap_or(0.0),
     )])
 });
 
@@ -434,7 +666,7 @@ kernel!(ReduceMaxKernel, ReduceMax, |n, seed, pool| {
 ///
 /// # Contract
 ///
-/// `execute` must return **exactly** the checksums the two registered
+/// `execute` must return **exactly** the digests the two registered
 /// [`MotifKernel`]s would produce for the same `(n, seed)` arguments —
 /// fusion is a pure performance axis, pinned by unit tests and a
 /// proptest over random argument pairs.
@@ -442,15 +674,15 @@ pub trait FusedKernel: Send + Sync + std::fmt::Debug {
     /// The `(first, second)` motif pair this superkernel fuses.
     fn pair(&self) -> (MotifKind, MotifKind);
 
-    /// Executes both halves and returns their checksums in order.
+    /// Executes both halves and returns their digests in order.
     /// `first` and `second` carry each half's `(n, seed)` arguments.
     fn execute(&self, first: (usize, u64), second: (usize, u64), pool: &BufferPool) -> (u64, u64);
 }
 
 /// Quick sort + merge sort fused: when both halves sort the same
-/// generated keys (equal `(n, seed)`), the input is generated once —
-/// merge sort reads the unsorted keys before quick sort reorders them
-/// in place.  Distinct arguments fall back to running both bodies
+/// generated keys (equal `(n, seed)`), each granule's input is generated
+/// once — merge sort reads the unsorted keys before quick sort reorders
+/// them in place.  Distinct arguments fall back to running both bodies
 /// back to back (still one scheduled task instead of two).
 #[derive(Debug)]
 struct QuickMergeSortKernel;
@@ -464,24 +696,40 @@ impl FusedKernel for QuickMergeSortKernel {
         &self,
         (n_quick, seed_quick): (usize, u64),
         (n_merge, seed_merge): (usize, u64),
-        _pool: &BufferPool,
+        pool: &BufferPool,
     ) -> (u64, u64) {
-        let mut keys = TextGenerator::new(seed_quick).generate(n_quick).keys();
-        let sorted = if (n_merge, seed_merge) == (n_quick, seed_quick) {
-            sort::merge_sort(&keys)
-        } else {
-            sort::merge_sort(&TextGenerator::new(seed_merge).generate(n_merge).keys())
-        };
-        sort::quick_sort(&mut keys);
-        (hash_bytes(&keys[0]), hash_bytes(&sorted[sorted.len() / 2]))
+        let shared = (n_merge, seed_merge) == (n_quick, seed_quick);
+        let mut quick_state = ChunkState::IDENTITY;
+        let mut merge_state = ChunkState::IDENTITY;
+        let generator = TextGenerator::new(seed_quick);
+        let mut cursor = 0;
+        while cursor < n_quick {
+            let index = (cursor / CHUNK_GRANULE) as u64;
+            let end = (cursor + CHUNK_GRANULE).min(n_quick);
+            let mut keys = generator.generate_range(cursor, end).keys();
+            if shared {
+                merge_state.absorb(index, end - cursor, hash_keys(&sort::merge_sort(&keys)));
+            }
+            sort::quick_sort(&mut keys);
+            quick_state.absorb(index, end - cursor, hash_keys(&keys));
+            cursor = end;
+        }
+        if !shared {
+            merge_state = MergeSortKernel.execute_chunk(0, n_merge, n_merge, seed_merge, pool);
+        }
+        (
+            quick_state.finalize(MotifKind::QuickSort),
+            merge_state.finalize(MotifKind::MergeSort),
+        )
     }
 }
 
-/// Graph construction + traversal fused: the sample graph depends only
-/// on `n`, so when both halves agree on `n` the adjacency structure is
-/// built **once** and both the edge count and the traversal reach are
-/// read off the same graph — construction is the expensive half, so
-/// this roughly halves the chain's work.
+/// Graph construction + traversal fused: each granule's sample graph
+/// depends only on its element range, so when both halves agree on `n`
+/// the adjacency structure is built **once** per granule and both the
+/// construction outcome and the traversal reach are read off the same
+/// graph — construction is the expensive half, so this roughly halves
+/// the chain's work.
 #[derive(Debug)]
 struct GraphConstructTraversalKernel;
 
@@ -492,18 +740,42 @@ impl FusedKernel for GraphConstructTraversalKernel {
 
     fn execute(
         &self,
-        (n_construct, _): (usize, u64),
-        (n_traverse, _): (usize, u64),
-        _pool: &BufferPool,
+        (n_construct, seed_construct): (usize, u64),
+        (n_traverse, seed_traverse): (usize, u64),
+        pool: &BufferPool,
     ) -> (u64, u64) {
-        let graph = sample_graph(n_construct);
-        let construct = graph.num_edges() as u64;
-        let traversal = if n_traverse == n_construct {
-            graph_ops::traversal_reach(&graph, 0) as u64
-        } else {
-            graph_ops::traversal_reach(&sample_graph(n_traverse), 0) as u64
-        };
-        (construct, traversal)
+        let mut construct_state = ChunkState::IDENTITY;
+        let mut traverse_state = ChunkState::IDENTITY;
+        let mut cursor = 0;
+        while cursor < n_construct {
+            let index = (cursor / CHUNK_GRANULE) as u64;
+            let end = (cursor + CHUNK_GRANULE).min(n_construct);
+            let g = GranuleCtx {
+                start: cursor,
+                end,
+                total: n_construct,
+                dataset_seed: seed_construct,
+                seed: granule_seed(seed_construct, index),
+            };
+            let graph = granule_graph(&g);
+            construct_state.absorb(
+                index,
+                g.len(),
+                hash_u64s([graph.num_edges() as u64, graph.max_out_degree() as u64]),
+            );
+            if n_traverse == n_construct {
+                traverse_state.absorb(index, g.len(), graph_ops::traversal_reach(&graph, 0) as u64);
+            }
+            cursor = end;
+        }
+        if n_traverse != n_construct {
+            traverse_state =
+                GraphTraversalKernel.execute_chunk(0, n_traverse, n_traverse, seed_traverse, pool);
+        }
+        (
+            construct_state.finalize(MotifKind::GraphConstruct),
+            traverse_state.finalize(MotifKind::GraphTraversal),
+        )
     }
 }
 
@@ -677,6 +949,88 @@ mod tests {
         }
     }
 
+    /// The streaming identity: for every motif kind, executing the input
+    /// as granule-aligned chunks of any size reduces to exactly the
+    /// monolithic digest.
+    #[test]
+    fn chunked_execution_is_digest_identical_for_every_kind() {
+        let registry = MotifRegistry::global();
+        let pool = BufferPool::new();
+        let total = 2 * CHUNK_GRANULE + 700;
+        for kind in MotifKind::ALL {
+            let kernel = registry.kernel(kind);
+            let monolithic = kernel.execute(total, 5, &pool);
+            for chunk in [CHUNK_GRANULE, 2 * CHUNK_GRANULE, 4 * CHUNK_GRANULE] {
+                let mut state = ChunkState::IDENTITY;
+                let mut start = 0;
+                while start < total {
+                    let end = (start + chunk).min(total);
+                    state.merge(&kernel.execute_chunk(start, end, total, 5, &pool));
+                    start = end;
+                }
+                assert_eq!(
+                    state.finalize(kind),
+                    monolithic,
+                    "{kind} chunked digest diverges at chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    /// Chunk states merge associatively and commutatively: any merge
+    /// order of the same chunks finalizes identically.
+    #[test]
+    fn chunk_state_merge_is_order_invariant() {
+        let kernel = MotifRegistry::global().kernel(MotifKind::QuickSort);
+        let pool = BufferPool::new();
+        let total = 3 * CHUNK_GRANULE + 100;
+        let chunks: Vec<ChunkState> = (0..4)
+            .map(|i| {
+                let start = i * CHUNK_GRANULE;
+                let end = ((i + 1) * CHUNK_GRANULE).min(total);
+                kernel.execute_chunk(start, end, total, 8, &pool)
+            })
+            .collect();
+        let mut forward = ChunkState::IDENTITY;
+        for c in &chunks {
+            forward.merge(c);
+        }
+        let mut reverse = ChunkState::IDENTITY;
+        for c in chunks.iter().rev() {
+            reverse.merge(c);
+        }
+        // Pairwise tree reduction, as a parallel reducer would produce.
+        let mut left = chunks[0];
+        left.merge(&chunks[1]);
+        let mut right = chunks[2];
+        right.merge(&chunks[3]);
+        let mut tree = ChunkState::IDENTITY;
+        tree.merge(&left);
+        tree.merge(&right);
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, tree);
+        assert_eq!(
+            forward.finalize(MotifKind::QuickSort),
+            tree.finalize(MotifKind::QuickSort)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "splits a granule")]
+    fn execute_chunk_rejects_unaligned_start() {
+        let kernel = MotifRegistry::global().kernel(MotifKind::MinMax);
+        let pool = BufferPool::new();
+        let _ = kernel.execute_chunk(100, CHUNK_GRANULE, 2 * CHUNK_GRANULE, 1, &pool);
+    }
+
+    #[test]
+    #[should_panic(expected = "splits a granule")]
+    fn execute_chunk_rejects_unaligned_interior_end() {
+        let kernel = MotifRegistry::global().kernel(MotifKind::MinMax);
+        let pool = BufferPool::new();
+        let _ = kernel.execute_chunk(0, 100, 2 * CHUNK_GRANULE, 1, &pool);
+    }
+
     #[test]
     fn kernel_cost_profile_matches_the_analytic_model() {
         let data = DataDescriptor::new(DataClass::Text, 1 << 30, 100, 0.0, Distribution::Uniform);
@@ -691,7 +1045,7 @@ mod tests {
         );
     }
 
-    /// A fused pair must be checksum-identical to its unfused halves for
+    /// A fused pair must be digest-identical to its unfused halves for
     /// every argument combination — exercised here on the boundary cases
     /// (shared arguments, distinct arguments) for both superkernels.
     #[test]
@@ -707,6 +1061,8 @@ mod tests {
                 ((128, 7), (300, 7)), // different size, same seed
                 ((64, 1), (512, 99)), // fully distinct
                 ((16, 0), (16, u64::MAX)),
+                ((CHUNK_GRANULE + 5, 3), (CHUNK_GRANULE + 5, 3)), // multi-granule shared
+                ((2 * CHUNK_GRANULE, 4), (CHUNK_GRANULE, 4)),     // multi-granule distinct
             ] {
                 let expect_a = registry.kernel(first).execute(args_a.0, args_a.1, &pool);
                 let expect_b = registry.kernel(second).execute(args_b.0, args_b.1, &pool);
@@ -741,7 +1097,7 @@ mod tests {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
 
         /// The digest-identity pin: over random argument pairs, every
-        /// superkernel reproduces its unfused halves' checksums exactly.
+        /// superkernel reproduces its unfused halves' digests exactly.
         #[test]
         fn superkernels_are_checksum_identical_for_random_arguments(
             n_a in 16usize..600,

@@ -26,6 +26,9 @@
 //!
 //! [executor]                      # optional: campaign execution policy
 //! workers = 8                     # worker-pool width for cell batching
+//! chunk_elements = 1_000_000      # stream sample executions in chunks of
+//!                                 # at most this many elements (bounded
+//!                                 # RSS; digests are unchanged)
 //!
 //! [[include]]                     # optional, repeatable: if any [[include]]
 //! workload = "TeraSort"           # blocks exist, a cell must match at
@@ -93,6 +96,10 @@ pub struct Scenario {
     pub tuning_cluster: Option<String>,
     /// Worker-pool width for batching cells (None = the runner default).
     pub workers: Option<usize>,
+    /// Streaming chunk size in elements for every cell's sample execution
+    /// (None = monolithic execution).  Granule-aligned by the executor;
+    /// digests are identical for any setting.
+    pub chunk_elements: Option<usize>,
     /// Keep-only filters (a cell must match at least one, if any exist).
     pub include: Vec<CellFilter>,
     /// Drop filters (a cell matching any is dropped).
@@ -114,6 +121,7 @@ impl Scenario {
             seeds: vec![dmpb_core::runner::DEFAULT_BASE_SEED],
             tuning_cluster: None,
             workers: None,
+            chunk_elements: None,
             include: Vec::new(),
             exclude: Vec::new(),
         }
@@ -375,6 +383,10 @@ impl Document {
                 "workers" => match value {
                     Value::Int(n) if *n > 0 => scenario.workers = Some(*n as usize),
                     _ => return err(*line, "`workers` must be a positive integer"),
+                },
+                "chunk_elements" => match value {
+                    Value::Int(n) if *n > 0 => scenario.chunk_elements = Some(*n as usize),
+                    _ => return err(*line, "`chunk_elements` must be a positive integer"),
                 },
                 other => return err(*line, format!("unknown [executor] key `{other}`")),
             }
@@ -749,6 +761,7 @@ mod tests {
         assert_eq!(s.seeds, vec![dmpb_core::runner::DEFAULT_BASE_SEED]);
         assert_eq!(s.tuning_cluster, None);
         assert_eq!(s.workers, None);
+        assert_eq!(s.chunk_elements, None);
     }
 
     #[test]
@@ -769,6 +782,7 @@ mod tests {
 
             [executor]
             workers = 4
+            chunk_elements = 1_000_000
 
             [[exclude]]
             workload = "Spark-TeraSort"   # no paper numbers
@@ -787,6 +801,7 @@ mod tests {
         assert_eq!(s.seeds, vec![0x00D4_17A4_0F1F, 42]);
         assert_eq!(s.tuning_cluster.as_deref(), Some("five-node-westmere"));
         assert_eq!(s.workers, Some(4));
+        assert_eq!(s.chunk_elements, Some(1_000_000));
         assert_eq!(s.exclude.len(), 1);
         assert_eq!(s.exclude[0].workload, Some(WorkloadKind::SparkTeraSort));
         assert_eq!(s.exclude[0].architecture.as_deref(), Some("haswell"));
@@ -872,6 +887,14 @@ mod tests {
             (
                 "[scenario]\nname = \"x\"\n[[exclude]]\nseed = 1\nseed = 2",
                 "duplicate filter key `seed`",
+            ),
+            (
+                "[scenario]\nname = \"x\"\n[executor]\nchunk_elements = 0",
+                "`chunk_elements` must be a positive integer",
+            ),
+            (
+                "[scenario]\nname = \"x\"\n[executor]\nchunk_elements = \"big\"",
+                "`chunk_elements` must be a positive integer",
             ),
         ] {
             let e = Scenario::parse(src).unwrap_err();

@@ -51,12 +51,15 @@ pub use runner::{
     CampaignDiff, CampaignError, CampaignReport, CampaignRunner, CellObserver, CellOutcome,
 };
 pub use store::{
-    load_records_recovering, read_records, CellResult, LoadedRecords, ResultStore, StoreStats,
-    TornTail,
+    compact_store, load_records_recovering, read_records, CellResult, CompactionStats,
+    LoadedRecords, ResultStore, StoreStats, TornTail,
 };
 
 /// Version of the modelled methodology a stored result was computed
 /// under.  Part of every cell fingerprint: bump it whenever a change to
 /// the performance model, tuner, kernels or seed derivation would make
 /// previously stored results stale — old entries then simply never hit.
-pub const CODE_MODEL_VERSION: u32 = 1;
+/// History: 2 — PR 8's granule-streamed kernels changed every kernel
+/// checksum (the reduce is an exact integer monoid over per-granule
+/// outcomes instead of one sequential fold).
+pub const CODE_MODEL_VERSION: u32 = 2;

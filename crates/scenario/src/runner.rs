@@ -220,14 +220,20 @@ impl std::fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
+/// Cache of tuned [`SuiteRunner`]s, keyed by cluster fingerprint and
+/// streaming chunk size — a streamed and a monolithic runner over the
+/// same cluster coexist without retuning each other away.
+type RunnerCache = Mutex<HashMap<(u64, Option<usize>), Arc<SuiteRunner>>>;
+
 /// Batch executor for scenario campaigns.
 pub struct CampaignRunner {
     version: u32,
     workers: usize,
+    chunk_elements: Option<usize>,
     profile_kernels: bool,
     store: Arc<ResultStore>,
     pool: OnceLock<Arc<WorkerPool>>,
-    runners: Mutex<HashMap<u64, Arc<SuiteRunner>>>,
+    runners: RunnerCache,
     observer: Option<CellObserver>,
 }
 
@@ -259,6 +265,7 @@ impl CampaignRunner {
         Self {
             version: CODE_MODEL_VERSION,
             workers: DEFAULT_WORKERS,
+            chunk_elements: None,
             profile_kernels: false,
             store: Arc::new(store),
             pool: OnceLock::new(),
@@ -303,6 +310,18 @@ impl CampaignRunner {
         self
     }
 
+    /// Streams every cell's sample execution in granule-aligned chunks of
+    /// at most `chunk_elements` elements (bounded peak RSS at large
+    /// element counts).  A scenario's `[executor] chunk_elements` takes
+    /// precedence for its own run.  Streaming never changes results:
+    /// checksums, fingerprints and report digests are byte-identical to
+    /// monolithic execution, so a store filled monolithically serves
+    /// streamed campaigns and vice versa.
+    pub fn with_chunk_elements(mut self, chunk_elements: Option<usize>) -> Self {
+        self.chunk_elements = chunk_elements;
+        self
+    }
+
     /// The backing result store.
     pub fn store(&self) -> &ResultStore {
         &self.store
@@ -326,9 +345,13 @@ impl CampaignRunner {
     /// The tuning runner for a cell's tuning cluster, created on first
     /// use and shared (with its tuning cache) by every cell that tunes
     /// there.
-    fn cluster_runner(&self, cell: &CampaignCell) -> Arc<SuiteRunner> {
+    fn cluster_runner(
+        &self,
+        cell: &CampaignCell,
+        chunk_elements: Option<usize>,
+    ) -> Arc<SuiteRunner> {
         let cluster = cell.tuning_cluster();
-        let key = fingerprint_cluster(&cluster);
+        let key = (fingerprint_cluster(&cluster), chunk_elements);
         // Recover a poisoned map instead of cascading the panic into
         // every later cell: entries are only ever inserted whole.
         let mut runners = self.runners.lock().unwrap_or_else(PoisonError::into_inner);
@@ -336,6 +359,7 @@ impl CampaignRunner {
             Arc::new(
                 SuiteRunner::with_generator(ProxyGenerator::new(cluster))
                     .with_intra_parallel(1)
+                    .with_chunk_elements(chunk_elements)
                     .with_worker_pool(Arc::clone(self.pool(self.workers))),
             )
         }))
@@ -345,7 +369,11 @@ impl CampaignRunner {
     /// measure and store the result.  A panicking cell becomes an error
     /// (via [`SuiteRunner::try_run_cell`]) instead of unwinding through
     /// the pool into every sibling.
-    fn run_cell(&self, cell: &CampaignCell) -> Result<CellOutcome, String> {
+    fn run_cell(
+        &self,
+        cell: &CampaignCell,
+        chunk_elements: Option<usize>,
+    ) -> Result<CellOutcome, String> {
         let start = Instant::now();
         let fingerprint = cell.fingerprint(self.version);
         let outcome = match self.store.lookup(fingerprint) {
@@ -354,7 +382,7 @@ impl CampaignRunner {
                 cached: true,
             },
             None => {
-                let runner = self.cluster_runner(cell);
+                let runner = self.cluster_runner(cell, chunk_elements);
                 let run = runner.try_run_cell(cell.kind, cell.elements, cell.seed)?;
                 let result = CellResult::compute(cell, &run, self.version);
                 debug_assert_eq!(result.fingerprint, fingerprint);
@@ -392,13 +420,14 @@ impl CampaignRunner {
             .workers
             .unwrap_or(self.workers)
             .clamp(1, cells.len().max(1));
+        let chunk_elements = scenario.chunk_elements.or(self.chunk_elements);
 
         let slots: Vec<OnceLock<Result<CellOutcome, String>>> =
             cells.iter().map(|_| OnceLock::new()).collect();
         if requested <= 1 {
             for (slot, cell) in slots.iter().zip(&cells) {
                 assert!(
-                    slot.set(self.run_cell(cell)).is_ok(),
+                    slot.set(self.run_cell(cell, chunk_elements)).is_ok(),
                     "campaign slot filled twice"
                 );
             }
@@ -420,7 +449,9 @@ impl CampaignRunner {
                             break;
                         }
                         assert!(
-                            slots[index].set(self.run_cell(&cells[index])).is_ok(),
+                            slots[index]
+                                .set(self.run_cell(&cells[index], chunk_elements))
+                                .is_ok(),
                             "campaign slot filled twice"
                         );
                     });
@@ -575,6 +606,19 @@ mod tests {
         let a = CampaignRunner::new().with_workers(8).run(&scenario);
         let b = CampaignRunner::new().run(&small_scenario());
         assert_eq!(a.to_lines(), b.to_lines());
+    }
+
+    #[test]
+    fn streamed_campaign_is_byte_identical_to_monolithic() {
+        let scenario = {
+            let mut s = small_scenario();
+            s.chunk_elements = Some(4096);
+            s
+        };
+        let streamed = CampaignRunner::new().run(&scenario);
+        let monolithic = CampaignRunner::new().run(&small_scenario());
+        assert_eq!(streamed.to_lines(), monolithic.to_lines());
+        assert_eq!(streamed.digest(), monolithic.digest());
     }
 
     #[test]

@@ -368,6 +368,55 @@ pub fn load_records_recovering(path: &Path) -> Result<LoadedRecords, String> {
     Ok(loaded)
 }
 
+/// Outcome of a [`compact_store`] rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Records surviving compaction (one per distinct fingerprint).
+    pub kept: usize,
+    /// Records dropped: appends shadowed by an earlier record with the
+    /// same fingerprint (first wins, matching [`ResultStore`] load
+    /// semantics), plus a torn final line if the file had one.
+    pub dropped: usize,
+}
+
+/// Rewrites a JSONL store file, dropping every record shadowed by
+/// first-wins fingerprint dedup (the footprint of racing workers or of
+/// concatenated store files), interior blank lines, and a torn final
+/// line.  Surviving records keep first-appearance order, so the
+/// compacted file loads to exactly the index the original did and
+/// parses with the strict [`read_records`] reader.
+///
+/// The rewrite goes through a temporary sibling file and an atomic
+/// rename: a crash mid-compaction leaves either the old or the new
+/// file, never a half-written one.  Do not compact a file another
+/// process has open for appending — the rename strands that process's
+/// file handle on the replaced inode.
+pub fn compact_store(path: &Path) -> Result<CompactionStats, String> {
+    let loaded = load_records_recovering(path)?;
+    let torn = usize::from(loaded.torn_tail.is_some());
+    let total = loaded.records.len();
+    let mut seen = std::collections::HashSet::with_capacity(total);
+    let mut out = String::new();
+    let mut kept = 0usize;
+    for record in loaded.records {
+        if seen.insert(record.fingerprint) {
+            out.push_str(&record.to_line());
+            out.push('\n');
+            kept += 1;
+        }
+    }
+    let tmp = path.with_extension("jsonl.compact-tmp");
+    std::fs::write(&tmp, out).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        format!("{} -> {}: {e}", tmp.display(), path.display())
+    })?;
+    Ok(CompactionStats {
+        kept,
+        dropped: total - kept + torn,
+    })
+}
+
 /// Hit/miss counters of a [`ResultStore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -820,6 +869,62 @@ mod tests {
         store.insert(second.clone()).unwrap();
         assert_eq!(store.stats().entries, 2);
         assert_eq!(store.stats().persist_errors, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_drops_shadowed_records_and_round_trips_strictly() {
+        let result = sample_result();
+        let dir = temp_store_dir("compact");
+        let path = dir.join("results.jsonl");
+
+        // First-wins shadowing: a record re-appended under the same
+        // fingerprint with *different* payload (e.g. two concatenated
+        // store generations) must compact to the first occurrence.
+        let mut shadowed = result.clone();
+        shadowed.checksum ^= 0xbad;
+        let mut second = result.clone();
+        second.fingerprint ^= 0x5eed;
+        let mut contents = String::new();
+        for r in [&result, &shadowed, &second, &result] {
+            contents.push_str(&r.to_line());
+            contents.push('\n');
+        }
+        contents.push('\n'); // interior blank line, legal but noise
+        contents.push_str(&second.to_line());
+        contents.push('\n');
+        // ... and a torn tail from a crash mid-append.
+        contents.push_str(&result.to_line()[..25]);
+        std::fs::write(&path, &contents).unwrap();
+
+        let stats = compact_store(&path).unwrap();
+        assert_eq!(
+            stats,
+            CompactionStats {
+                kept: 2,
+                dropped: 4
+            }
+        );
+
+        // The compacted file parses with the strict reader and loads to
+        // the same first-wins index the original did.
+        let records = read_records(&path).unwrap();
+        assert_eq!(records, vec![result.clone(), second.clone()]);
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.stats().entries, 2);
+        assert_eq!(store.lookup(result.fingerprint).unwrap(), result);
+
+        // Compacting a compacted store is a no-op.
+        drop(store);
+        let stats = compact_store(&path).unwrap();
+        assert_eq!(
+            stats,
+            CompactionStats {
+                kept: 2,
+                dropped: 0
+            }
+        );
+        assert_eq!(read_records(&path).unwrap().len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

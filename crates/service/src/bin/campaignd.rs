@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! campaignd [--addr HOST:PORT] [--store FILE.jsonl] [--workers N] [--queue-depth N]
+//!           [--chunk-elements N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7070`; port `0` picks an
@@ -14,7 +15,7 @@ use dmpb_service::{serve, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaignd [--addr HOST:PORT] [--store FILE.jsonl] [--workers N] [--queue-depth N]"
+        "usage: campaignd [--addr HOST:PORT] [--store FILE.jsonl] [--workers N] [--queue-depth N] [--chunk-elements N]"
     );
     std::process::exit(2);
 }
@@ -46,6 +47,17 @@ fn main() {
                     eprintln!("campaignd: bad --queue-depth: {e}");
                     usage()
                 })
+            }
+            "--chunk-elements" => {
+                let n: usize = value("--chunk-elements").parse().unwrap_or_else(|e| {
+                    eprintln!("campaignd: bad --chunk-elements: {e}");
+                    usage()
+                });
+                if n == 0 {
+                    eprintln!("campaignd: --chunk-elements must be positive");
+                    usage()
+                }
+                config.chunk_elements = Some(n);
             }
             "--help" | "-h" => usage(),
             other => {

@@ -36,6 +36,10 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Worker-pool width for campaign cell batching.
     pub workers: usize,
+    /// Streaming chunk size (elements) for cell sample executions;
+    /// `None` executes monolithically.  A scenario's own
+    /// `[executor] chunk_elements` takes precedence per campaign.
+    pub chunk_elements: Option<usize>,
     /// Backing file for the shared result store; `None` keeps results in
     /// memory for the daemon's lifetime.
     pub store_path: Option<PathBuf>,
@@ -47,6 +51,7 @@ impl Default for ServiceConfig {
             addr: "127.0.0.1:0".to_string(),
             queue_depth: 16,
             workers: dmpb_scenario::runner::DEFAULT_WORKERS,
+            chunk_elements: None,
             store_path: None,
         }
     }
@@ -211,6 +216,7 @@ pub fn serve(config: ServiceConfig) -> Result<ServiceHandle, String> {
     // changes results (reports and digests are profile-independent).
     let runner = CampaignRunner::with_store(store)
         .with_workers(config.workers.max(1))
+        .with_chunk_elements(config.chunk_elements)
         .with_kernel_profiling(true)
         .with_cell_observer(Arc::new(move |_outcome, wall| recorder.record(wall)));
 
