@@ -21,19 +21,31 @@
 //!                             chunks of at most N elements (bounded peak
 //!                             RSS; results are unchanged; scenario
 //!                             [executor] chunk_elements wins for its run)
+//!   --store-shards <N>        open --store in the sharded layout with N
+//!                             segments (a legacy single-file store is
+//!                             migrated in place; an existing sharded
+//!                             store keeps its own segment count)
 //!
 //! campaign --compact-store <path>
-//!   standalone maintenance mode: rewrites the JSONL store dropping
-//!   records shadowed by first-wins dedup (corrupt lines and torn tails
-//!   are dropped too), then exits
+//!   standalone maintenance mode: rewrites the store dropping records
+//!   shadowed by first-wins dedup (corrupt lines and torn tails are
+//!   dropped too), then exits.  On a sharded store directory every
+//!   segment is compacted, cross-shard duplicates are dropped, misrouted
+//!   records re-routed home, and the sidecar index rebuilt atomically;
+//!   per-shard stats are printed.
 //! ```
 //!
 //! Exit codes: 0 success, 1 gate failure (regression or hit-ratio miss),
 //! 2 usage / file / parse errors.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use dmpb_scenario::{compact_store, read_records, CampaignRunner, ResultStore, Scenario};
+use dmpb_motifs::workers::WorkerPool;
+use dmpb_scenario::runner::DEFAULT_WORKERS;
+use dmpb_scenario::{
+    compact_sharded_store, compact_store, read_records, CampaignRunner, ResultStore, Scenario,
+};
 
 struct Options {
     scenario_path: String,
@@ -42,6 +54,7 @@ struct Options {
     write_baseline: Option<String>,
     workers: Option<usize>,
     chunk_elements: Option<usize>,
+    store_shards: Option<usize>,
     expect_hit_ratio: Option<f64>,
     profile_out: Option<String>,
     compact_store: Option<String>,
@@ -49,9 +62,9 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: campaign <scenario.toml> [--store <path>] [--baseline <path>] \
-         [--write-baseline <path>] [--workers <N>] [--chunk-elements <N>] \
-         [--expect-hit-ratio <R>] [--profile-out <path>]\n\
+        "usage: campaign <scenario.toml> [--store <path>] [--store-shards <N>] \
+         [--baseline <path>] [--write-baseline <path>] [--workers <N>] \
+         [--chunk-elements <N>] [--expect-hit-ratio <R>] [--profile-out <path>]\n\
          \u{20}      campaign --compact-store <path>"
     );
     ExitCode::from(2)
@@ -66,6 +79,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         write_baseline: None,
         workers: None,
         chunk_elements: None,
+        store_shards: None,
         expect_hit_ratio: None,
         profile_out: None,
         compact_store: None,
@@ -97,6 +111,17 @@ fn parse_args() -> Result<Options, ExitCode> {
                     return Err(usage());
                 }
                 options.chunk_elements = Some(n);
+            }
+            "--store-shards" => {
+                let n: usize = value_for("--store-shards")?.parse().map_err(|_| {
+                    eprintln!("campaign: --store-shards needs a positive integer");
+                    usage()
+                })?;
+                if n == 0 {
+                    eprintln!("campaign: --store-shards needs a positive integer");
+                    return Err(usage());
+                }
+                options.store_shards = Some(n);
             }
             "--compact-store" => options.compact_store = Some(value_for("--compact-store")?),
             "--expect-hit-ratio" => {
@@ -135,19 +160,49 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = &options.compact_store {
-        match compact_store(std::path::Path::new(path)) {
-            Ok(stats) => {
-                println!(
-                    "campaign: compacted {path}: {} record(s) kept, {} shadowed record(s) dropped",
-                    stats.kept, stats.dropped
-                );
-                if options.scenario_path.is_empty() {
-                    return ExitCode::SUCCESS;
+        let target = std::path::Path::new(path);
+        if target.is_dir() {
+            match compact_sharded_store(target) {
+                Ok(stats) => {
+                    for (shard, stats) in stats.iter().enumerate() {
+                        println!(
+                            "campaign: compacted {path} segment {shard}: {} record(s) kept, \
+                             {} record(s) dropped",
+                            stats.kept, stats.dropped
+                        );
+                    }
+                    let kept: usize = stats.iter().map(|s| s.kept).sum();
+                    let dropped: usize = stats.iter().map(|s| s.dropped).sum();
+                    println!(
+                        "campaign: compacted {path}: {kept} record(s) kept, {dropped} \
+                         record(s) dropped across {} segment(s); sidecar index rebuilt",
+                        stats.len()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("campaign: cannot compact {path}: {e}");
+                    return ExitCode::from(2);
                 }
             }
-            Err(e) => {
-                eprintln!("campaign: cannot compact {path}: {e}");
-                return ExitCode::from(2);
+            if options.scenario_path.is_empty() {
+                return ExitCode::SUCCESS;
+            }
+        } else {
+            match compact_store(target) {
+                Ok(stats) => {
+                    println!(
+                        "campaign: compacted {path}: {} record(s) kept, {} shadowed record(s) \
+                         dropped",
+                        stats.kept, stats.dropped
+                    );
+                    if options.scenario_path.is_empty() {
+                        return ExitCode::SUCCESS;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("campaign: cannot compact {path}: {e}");
+                    return ExitCode::from(2);
+                }
             }
         }
     }
@@ -167,18 +222,42 @@ fn main() -> ExitCode {
         }
     };
 
+    // The campaign's worker pool doubles as the sharded store's
+    // open-time segment scanner, so the process runs one thread fleet
+    // (the calling thread participates: width − 1 pool threads).
+    let pool = Arc::new(WorkerPool::new(
+        options
+            .workers
+            .unwrap_or(DEFAULT_WORKERS)
+            .max(1)
+            .saturating_sub(1),
+    ));
     let store = match &options.store {
         None => ResultStore::in_memory(),
-        Some(path) => match ResultStore::open(path) {
-            Ok(store) => store,
-            Err(e) => {
-                eprintln!("campaign: cannot open store: {e}");
-                return ExitCode::from(2);
+        Some(path) => {
+            let sharded = options.store_shards.is_some() || std::path::Path::new(path).is_dir();
+            let opened = if sharded {
+                ResultStore::open_sharded_with_pool(
+                    path,
+                    options
+                        .store_shards
+                        .unwrap_or(dmpb_scenario::DEFAULT_STORE_SHARDS),
+                    Some(&pool),
+                )
+            } else {
+                ResultStore::open(path)
+            };
+            match opened {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("campaign: cannot open store: {e}");
+                    return ExitCode::from(2);
+                }
             }
-        },
+        }
     };
     let preloaded = store.stats().entries;
-    let mut runner = CampaignRunner::with_store(store);
+    let mut runner = CampaignRunner::with_store(store).with_worker_pool(pool);
     if let Some(workers) = options.workers {
         runner = runner.with_workers(workers);
     }

@@ -82,3 +82,79 @@ clusters = ["five-node-westmere"]
     );
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn store_shards_flag_runs_sharded_end_to_end_with_compaction() {
+    let source = r#"
+[scenario]
+name = "sharded-cli"
+
+[axes]
+workloads = ["TeraSort"]
+clusters = ["five-node-westmere"]
+elements = [600]
+seeds = [7, 8]
+"#;
+    let path = scenario_file("sharded", source);
+    let dir = std::env::temp_dir().join(format!("dmpb-campaign-cli-shards-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store");
+
+    // Cold run creates the sharded layout (segments + sidecar).
+    let output = campaign()
+        .arg(&path)
+        .args(["--store", store.to_str().unwrap(), "--store-shards", "4"])
+        .output()
+        .expect("campaign binary runs");
+    assert!(
+        output.status.success(),
+        "cold sharded run failed\nstderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        store.is_dir(),
+        "--store-shards must create a store directory"
+    );
+    assert!(store.join("index.jsonl").exists(), "sidecar index missing");
+    assert!(
+        store.join("segment-0.jsonl").exists(),
+        "segment files missing"
+    );
+
+    // Warm run is fully store-served — sharding must not cost a hit.
+    let output = campaign()
+        .arg(&path)
+        .args([
+            "--store",
+            store.to_str().unwrap(),
+            "--expect-hit-ratio",
+            "1.0",
+        ])
+        .output()
+        .expect("campaign binary runs");
+    assert!(
+        output.status.success(),
+        "warm sharded run missed the store\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Maintenance mode: sharded compaction reports per-segment stats.
+    let output = campaign()
+        .args(["--compact-store", store.to_str().unwrap()])
+        .output()
+        .expect("campaign binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "sharded compaction failed\nstderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        stdout.contains("segment 0:") && stdout.contains("sidecar index rebuilt"),
+        "compaction must report per-segment stats\nstdout: {stdout}"
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -19,8 +19,11 @@
 //! 3. **A content-addressed result store** ([`store`]) — each cell is
 //!    fingerprinted (workload + stack + full cluster/tuning-cluster
 //!    configuration + scale + seed + [`CODE_MODEL_VERSION`]) with the
-//!    workspace FNV hasher; results persist as JSON lines and re-runs
-//!    skip every already-computed cell, byte-identically.
+//!    workspace FNV hasher; results persist as JSON lines — either one
+//!    legacy file or a sharded store directory (`segment-<k>.jsonl` per
+//!    `fingerprint % N` shard, plus a sidecar index for replay-free
+//!    warm opens) — and re-runs skip every already-computed cell,
+//!    byte-identically.
 //! 4. **A batch campaign runner** ([`runner`]) — cells are batched onto
 //!    one persistent work-stealing
 //!    [`WorkerPool`](dmpb_motifs::workers::WorkerPool) shared with the
@@ -51,8 +54,9 @@ pub use runner::{
     CampaignDiff, CampaignError, CampaignReport, CampaignRunner, CellObserver, CellOutcome,
 };
 pub use store::{
-    compact_store, load_records_recovering, read_records, CellResult, CompactionStats,
-    LoadedRecords, ResultStore, StoreStats, TornTail,
+    compact_sharded_store, compact_store, load_records_recovering, read_records, read_store_meta,
+    read_store_records, segment_path, shard_for, CellResult, CompactionStats, LoadedRecords,
+    ResultStore, StoreStats, TornTail, DEFAULT_STORE_SHARDS, META_FILE, SIDECAR_FILE,
 };
 
 /// Version of the modelled methodology a stored result was computed

@@ -310,6 +310,17 @@ impl CampaignRunner {
         self
     }
 
+    /// Pre-seeds the campaign's shared worker pool with an existing one
+    /// — so a pool used to scan a sharded store's segments at open time
+    /// (see [`ResultStore::open_sharded_with_pool`]) is the same pool
+    /// the campaign's cells later run on, instead of a second thread
+    /// fleet.  Must be called before the first campaign runs; once the
+    /// pool has been created lazily, a later pre-seed is ignored.
+    pub fn with_worker_pool(self, pool: Arc<WorkerPool>) -> Self {
+        let _ = self.pool.set(pool);
+        self
+    }
+
     /// Streams every cell's sample execution in granule-aligned chunks of
     /// at most `chunk_elements` elements (bounded peak RSS at large
     /// element counts).  A scenario's `[executor] chunk_elements` takes
@@ -458,6 +469,12 @@ impl CampaignRunner {
                 }
             });
         }
+
+        // Amortized persistence: one flush (and, for sharded stores, one
+        // sidecar rebuild) per campaign instead of one per record.  A
+        // sync failure already degraded the store and warned; the
+        // campaign's results are all still served from memory.
+        let _ = self.store.sync();
 
         let mut outcomes = Vec::with_capacity(slots.len());
         let mut failures = Vec::new();

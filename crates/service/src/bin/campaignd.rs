@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! campaignd [--addr HOST:PORT] [--store FILE.jsonl] [--workers N] [--queue-depth N]
-//!           [--chunk-elements N]
+//!           [--chunk-elements N] [--store-shards N]
 //! ```
+//!
+//! `--store-shards N` opens the store in the sharded layout with N
+//! segments (a legacy single-file store is migrated in place; an
+//! existing sharded store directory keeps its own segment count).
 //!
 //! Binds the address (default `127.0.0.1:7070`; port `0` picks an
 //! ephemeral port), prints the bound address on stdout as
@@ -15,7 +19,7 @@ use dmpb_service::{serve, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaignd [--addr HOST:PORT] [--store FILE.jsonl] [--workers N] [--queue-depth N] [--chunk-elements N]"
+        "usage: campaignd [--addr HOST:PORT] [--store FILE.jsonl] [--workers N] [--queue-depth N] [--chunk-elements N] [--store-shards N]"
     );
     std::process::exit(2);
 }
@@ -58,6 +62,17 @@ fn main() {
                     usage()
                 }
                 config.chunk_elements = Some(n);
+            }
+            "--store-shards" => {
+                let n: usize = value("--store-shards").parse().unwrap_or_else(|e| {
+                    eprintln!("campaignd: bad --store-shards: {e}");
+                    usage()
+                });
+                if n == 0 {
+                    eprintln!("campaignd: --store-shards must be positive");
+                    usage()
+                }
+                config.store_shards = Some(n);
             }
             "--help" | "-h" => usage(),
             other => {

@@ -69,6 +69,45 @@ pub(crate) fn render_metrics(state: &ServiceState) -> String {
         stats.persist_errors,
     );
 
+    // Per-shard breakdowns of the same store counters (shard =
+    // fingerprint % N, one series per segment file).  They sum exactly
+    // to the aggregates above — the daemon test pins that.
+    let shard_stats = state.runner.store().shard_stats();
+    type ShardValue = fn(&dmpb_scenario::StoreStats) -> u64;
+    let shard_families: [(&str, &str, &str, ShardValue); 4] = [
+        (
+            "dmpb_store_shard_hits_total",
+            "counter",
+            "Result-store lookups served from the store, by shard.",
+            |s| s.hits,
+        ),
+        (
+            "dmpb_store_shard_misses_total",
+            "counter",
+            "Result-store lookups that required computation, by shard.",
+            |s| s.misses,
+        ),
+        (
+            "dmpb_store_shard_entries",
+            "gauge",
+            "Distinct cell results currently held, by shard.",
+            |s| s.entries as u64,
+        ),
+        (
+            "dmpb_store_shard_persist_errors_total",
+            "counter",
+            "Failed appends to the shard's segment file, by shard.",
+            |s| s.persist_errors,
+        ),
+    ];
+    for (name, kind, help, value) in shard_families {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (shard, stats) in shard_stats.iter().enumerate() {
+            let _ = writeln!(out, "{name}{{shard=\"{shard}\"}} {}", value(stats));
+        }
+    }
+
     let counters = &state.counters;
     metric(
         &mut out,

@@ -43,6 +43,11 @@ pub struct ServiceConfig {
     /// Backing file for the shared result store; `None` keeps results in
     /// memory for the daemon's lifetime.
     pub store_path: Option<PathBuf>,
+    /// Open the store in the sharded layout with this many segments
+    /// (a legacy single-file store at `store_path` is migrated in
+    /// place; an existing sharded store keeps its own segment count).
+    /// `None` keeps whatever layout `store_path` already has.
+    pub store_shards: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +58,7 @@ impl Default for ServiceConfig {
             workers: dmpb_scenario::runner::DEFAULT_WORKERS,
             chunk_elements: None,
             store_path: None,
+            store_shards: None,
         }
     }
 }
@@ -204,8 +210,25 @@ impl Drop for ServiceHandle {
 
 /// Binds the service and spawns its accept and dispatcher threads.
 pub fn serve(config: ServiceConfig) -> Result<ServiceHandle, String> {
+    // One pool serves the daemon's lifetime: it scans the sharded
+    // store's segments at boot and batches campaign cells thereafter.
+    let pool = Arc::new(dmpb_motifs::workers::WorkerPool::new(
+        config.workers.max(1).saturating_sub(1),
+    ));
     let store = match &config.store_path {
-        Some(path) => ResultStore::open(path)?,
+        Some(path) => {
+            if config.store_shards.is_some() || path.is_dir() {
+                ResultStore::open_sharded_with_pool(
+                    path,
+                    config
+                        .store_shards
+                        .unwrap_or(dmpb_scenario::DEFAULT_STORE_SHARDS),
+                    Some(&pool),
+                )?
+            } else {
+                ResultStore::open(path)?
+            }
+        }
         None => ResultStore::in_memory(),
     };
     dmpb_motifs::KernelProfiler::global().set_enabled(true);
@@ -215,6 +238,7 @@ pub fn serve(config: ServiceConfig) -> Result<ServiceHandle, String> {
     // `/metrics` can expose per-kind execution counters.  Profiling never
     // changes results (reports and digests are profile-independent).
     let runner = CampaignRunner::with_store(store)
+        .with_worker_pool(pool)
         .with_workers(config.workers.max(1))
         .with_chunk_elements(config.chunk_elements)
         .with_kernel_profiling(true)

@@ -233,3 +233,81 @@ fn bad_requests_get_specific_statuses() {
 
     handle.shutdown();
 }
+
+/// Sums every series of a labelled per-shard metric family on the page.
+fn shard_family_sum(page: &str, family: &str) -> f64 {
+    let mut series = 0;
+    let sum = page
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix(family)?;
+            let rest = rest.strip_prefix("{shard=\"")?;
+            let (_, value) = rest.split_once("\"} ")?;
+            series += 1;
+            value.trim().parse::<f64>().ok()
+        })
+        .sum();
+    assert!(series > 0, "metrics page has no {family} series:\n{page}");
+    sum
+}
+
+#[test]
+fn sharded_store_daemon_exports_per_shard_metrics_that_sum_to_aggregates() {
+    let store_dir =
+        std::env::temp_dir().join(format!("dmpb-daemon-shards-{}/store", std::process::id()));
+    std::fs::remove_dir_all(store_dir.parent().unwrap()).ok();
+    let handle = serve(ServiceConfig {
+        store_path: Some(store_dir.clone()),
+        store_shards: Some(4),
+        queue_depth: 8,
+        workers: 4,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // A cold then a warm submission: the warm one turns lookups into
+    // hits, so every per-shard family carries real, non-zero traffic.
+    let cold_id = submit(&addr, SCENARIO);
+    let (status, _, cold_body) = wait_done(&addr, &cold_id);
+    assert_eq!(status, 200);
+    let warm_id = submit(&addr, SCENARIO);
+    let (status, _, warm_body) = wait_done(&addr, &warm_id);
+    assert_eq!(status, 200);
+    assert_eq!(
+        cold_body, warm_body,
+        "sharded warm report must be byte-identical"
+    );
+
+    let (status, _, metrics) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    let page = String::from_utf8(metrics).unwrap();
+    let stats = handle.store_stats();
+    assert!(stats.hits > 0, "warm run must have produced store hits");
+    let families = [
+        ("dmpb_store_shard_hits_total", stats.hits),
+        ("dmpb_store_shard_misses_total", stats.misses),
+        ("dmpb_store_shard_entries", stats.entries as u64),
+        (
+            "dmpb_store_shard_persist_errors_total",
+            stats.persist_errors,
+        ),
+    ];
+    for (family, aggregate) in families {
+        assert_eq!(
+            shard_family_sum(&page, family) as u64,
+            aggregate,
+            "{family} series must sum to the aggregate counter"
+        );
+    }
+    // One series per configured shard.
+    assert_eq!(
+        page.lines()
+            .filter(|l| l.starts_with("dmpb_store_shard_entries{"))
+            .count(),
+        4
+    );
+
+    handle.shutdown();
+    std::fs::remove_dir_all(store_dir.parent().unwrap()).ok();
+}
