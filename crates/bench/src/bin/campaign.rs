@@ -25,6 +25,20 @@
 //!                             segments (a legacy single-file store is
 //!                             migrated in place; an existing sharded
 //!                             store keeps its own segment count)
+//!   --population-size <N>     override (or create) the scenario's
+//!                             [population] with N synthetic workloads
+//!   --population-seed <S>     override the population base seed
+//!                             (decimal or 0x-prefixed hex)
+//!   --population-family <F>   override the population topology family
+//!                             (chain | fork-join | diamond | layered |
+//!                             mixed)
+//!   --population-budget-secs <B>
+//!                             override the population duration budget;
+//!                             members beyond the modeled budget are
+//!                             truncated deterministically by rank
+//!   --describe-population     print the budgeted population as JSON
+//!                             lines (one member per line) and exit
+//!                             without running the campaign
 //!
 //! campaign --compact-store <path>
 //!   standalone maintenance mode: rewrites the store dropping records
@@ -42,6 +56,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use dmpb_motifs::workers::WorkerPool;
+use dmpb_population::{PopulationGenerator, TopologyFamily};
 use dmpb_scenario::runner::DEFAULT_WORKERS;
 use dmpb_scenario::{
     compact_sharded_store, compact_store, read_records, CampaignRunner, ResultStore, Scenario,
@@ -58,13 +73,29 @@ struct Options {
     expect_hit_ratio: Option<f64>,
     profile_out: Option<String>,
     compact_store: Option<String>,
+    describe_population: bool,
+    population_size: Option<u32>,
+    population_seed: Option<u64>,
+    population_family: Option<TopologyFamily>,
+    population_budget_secs: Option<f64>,
+}
+
+/// Seeds arrive as decimal or `0x`-prefixed hex (the form the campaign
+/// itself prints digests and fingerprints in).
+fn parse_seed(raw: &str) -> Option<u64> {
+    match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => raw.parse().ok(),
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: campaign <scenario.toml> [--store <path>] [--store-shards <N>] \
          [--baseline <path>] [--write-baseline <path>] [--workers <N>] \
-         [--chunk-elements <N>] [--expect-hit-ratio <R>] [--profile-out <path>]\n\
+         [--chunk-elements <N>] [--expect-hit-ratio <R>] [--profile-out <path>] \
+         [--population-size <N>] [--population-seed <S>] [--population-family <F>] \
+         [--population-budget-secs <B>] [--describe-population]\n\
          \u{20}      campaign --compact-store <path>"
     );
     ExitCode::from(2)
@@ -83,6 +114,11 @@ fn parse_args() -> Result<Options, ExitCode> {
         expect_hit_ratio: None,
         profile_out: None,
         compact_store: None,
+        describe_population: false,
+        population_size: None,
+        population_seed: None,
+        population_family: None,
+        population_budget_secs: None,
     };
     while let Some(arg) = args.next() {
         let mut value_for = |flag: &str| {
@@ -138,6 +174,45 @@ fn parse_args() -> Result<Options, ExitCode> {
                 options.expect_hit_ratio = Some(ratio);
             }
             "--profile-out" => options.profile_out = Some(value_for("--profile-out")?),
+            "--describe-population" => options.describe_population = true,
+            "--population-size" => {
+                let n: u32 = value_for("--population-size")?.parse().unwrap_or(0);
+                if n == 0 {
+                    eprintln!("campaign: --population-size needs a positive integer");
+                    return Err(usage());
+                }
+                options.population_size = Some(n);
+            }
+            "--population-seed" => {
+                options.population_seed =
+                    Some(parse_seed(&value_for("--population-seed")?).ok_or_else(|| {
+                        eprintln!("campaign: --population-seed needs a decimal or 0x-prefixed u64");
+                        usage()
+                    })?)
+            }
+            "--population-family" => {
+                options.population_family = Some(
+                    value_for("--population-family")?
+                        .parse()
+                        .map_err(|e: String| {
+                            eprintln!("campaign: --population-family: {e}");
+                            usage()
+                        })?,
+                )
+            }
+            "--population-budget-secs" => {
+                let budget: f64 = value_for("--population-budget-secs")?
+                    .parse()
+                    .map_err(|_| {
+                        eprintln!("campaign: --population-budget-secs needs a positive number");
+                        usage()
+                    })?;
+                if !(budget > 0.0 && budget.is_finite()) {
+                    eprintln!("campaign: --population-budget-secs needs a positive number");
+                    return Err(usage());
+                }
+                options.population_budget_secs = Some(budget);
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 eprintln!("campaign: unknown flag `{other}`");
@@ -214,13 +289,73 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let scenario = match Scenario::parse(&source) {
+    let mut scenario = match Scenario::parse(&source) {
         Ok(scenario) => scenario,
         Err(e) => {
             eprintln!("campaign: {}: {e}", options.scenario_path);
             return ExitCode::from(2);
         }
     };
+
+    // The --population-* flags override (or, for a scenario without a
+    // [population] section, create from defaults) the synthetic
+    // population spec; the merged spec is re-validated so flag
+    // combinations obey the same rules as the DSL.
+    if options.population_size.is_some()
+        || options.population_seed.is_some()
+        || options.population_family.is_some()
+        || options.population_budget_secs.is_some()
+    {
+        let mut spec = scenario.population.unwrap_or_default();
+        if let Some(size) = options.population_size {
+            spec.size = size;
+        }
+        if let Some(seed) = options.population_seed {
+            spec.base_seed = seed;
+        }
+        if let Some(family) = options.population_family {
+            spec.family = family;
+        }
+        if let Some(budget) = options.population_budget_secs {
+            spec.duration_budget_secs = Some(budget);
+        }
+        if let Err(e) = spec.validate() {
+            eprintln!("campaign: invalid population overrides: {e}");
+            return ExitCode::from(2);
+        }
+        scenario.population = Some(spec);
+    }
+
+    if options.describe_population {
+        let Some(plan) = scenario.population_plan() else {
+            eprintln!(
+                "campaign: --describe-population needs a [population] section in the \
+                 scenario or --population-* flags"
+            );
+            return ExitCode::from(2);
+        };
+        // Budget truncation keeps a rank prefix, and a member's identity
+        // is independent of the budget, so the original spec's generator
+        // reproduces exactly the members the campaign would run.
+        let generator = PopulationGenerator::new(plan.spec)
+            .expect("population spec was validated at parse/override time");
+        for rank in 0..plan.planned {
+            println!("{}", generator.member(rank).describe_json());
+        }
+        eprintln!(
+            "campaign: described {} of {} population member(s) across {} axis \
+             combination(s){}",
+            plan.planned,
+            plan.full_size,
+            plan.combos,
+            if plan.truncated() {
+                " [duration budget truncated]"
+            } else {
+                ""
+            }
+        );
+        return ExitCode::SUCCESS;
+    }
 
     // The campaign's worker pool doubles as the sharded store's
     // open-time segment scanner, so the process runs one thread fleet

@@ -47,7 +47,7 @@ use crate::fnv::hash_bytes;
 use dmpb_datagen::rng::derive_seed;
 use dmpb_metrics::table::{fmt_percent, fmt_speedup, TextTable};
 use dmpb_motifs::workers::WorkerPool;
-use dmpb_workloads::{ClusterConfig, Framework, WorkloadKind};
+use dmpb_workloads::{ClusterConfig, Framework, Workload, WorkloadKind};
 
 use crate::executor::DagExecutor;
 use crate::generator::{GenerationReport, ProxyGenerator};
@@ -82,10 +82,17 @@ pub struct TuningKey {
     pub cluster_fingerprint: u64,
     /// Fingerprint of the tuner + feature-selection configuration.
     pub tuner_fingerprint: u64,
+    /// Synthetic-member discriminator: `0` for the eight named workloads;
+    /// a synthesized population member's identity hash otherwise.  A
+    /// synthetic member borrows a named *carrier* kind for parameter
+    /// initialisation, so without this field its tune would collide with
+    /// (and shadow) the carrier's own cache entry.
+    pub synthetic: u64,
 }
 
 impl TuningKey {
-    /// Builds the key for tuning `kind` with `generator`.
+    /// Builds the key for tuning the named workload `kind` with
+    /// `generator`.
     pub fn new(kind: WorkloadKind, generator: &ProxyGenerator) -> Self {
         Self {
             kind,
@@ -93,6 +100,25 @@ impl TuningKey {
             cluster_fingerprint: fingerprint_cluster(&generator.cluster),
             tuner_fingerprint: generator.tuner.fingerprint()
                 ^ hash_bytes(format!("{:?}", generator.features).as_bytes()),
+            synthetic: 0,
+        }
+    }
+
+    /// Builds the key for tuning a synthesized workload whose full
+    /// description hashes to `discriminator` (which must be non-zero —
+    /// zero is the named workloads' reserved value).
+    pub fn for_synthetic(
+        kind: WorkloadKind,
+        generator: &ProxyGenerator,
+        discriminator: u64,
+    ) -> Self {
+        assert!(
+            discriminator != 0,
+            "synthetic discriminator 0 is reserved for named workloads"
+        );
+        Self {
+            synthetic: discriminator,
+            ..Self::new(kind, generator)
         }
     }
 }
@@ -463,6 +489,66 @@ impl SuiteRunner {
         }
     }
 
+    /// [`Self::run_cell`] for a *synthesized* workload (e.g. a population
+    /// member from `dmpb-population`): tunes the workload through the
+    /// generic pipeline, memoized under a [`TuningKey::for_synthetic`]
+    /// key so the member can never share (or shadow) a named workload's
+    /// cache entry, then executes its proxy DAG on `elements` / `seed`.
+    /// `discriminator` must be the member's identity hash — non-zero, and
+    /// stable across runs so repeated campaigns hit the cache.
+    pub fn run_synthetic_cell(
+        &self,
+        workload: &dyn Workload,
+        discriminator: u64,
+        elements: usize,
+        seed: u64,
+    ) -> ProxyRun {
+        let key = TuningKey::for_synthetic(workload.kind(), &self.generator, discriminator);
+        let report = match self.cache.lookup(&key) {
+            Some(report) => report,
+            None => {
+                let report = self.generator.generate(workload);
+                self.cache.insert(key, report.clone());
+                report
+            }
+        };
+        let execution =
+            ExecutionSummary::from(&report.proxy.execute_dag(self.executor(), elements, seed));
+        ProxyRun {
+            kind: workload.kind(),
+            seed,
+            report,
+            execution,
+        }
+    }
+
+    /// [`Self::run_synthetic_cell`], with panics converted into an error
+    /// (the synthetic counterpart of [`Self::try_run_cell`]).
+    pub fn try_run_synthetic_cell(
+        &self,
+        workload: &dyn Workload,
+        discriminator: u64,
+        elements: usize,
+        seed: u64,
+    ) -> Result<ProxyRun, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_synthetic_cell(workload, discriminator, elements, seed)
+        }))
+        .map_err(|payload| {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            format!(
+                "synthetic cell {:016x} (carrier {}, elements {elements}, seed {seed:016x}) \
+                 panicked: {message}",
+                discriminator,
+                workload.kind()
+            )
+        })
+    }
+
     /// [`Self::run_cell`], with panics converted into an error instead of
     /// unwinding into the caller.  Long-running hosts (the campaign
     /// daemon) use this so one exploding cell fails its own campaign
@@ -738,6 +824,101 @@ mod tests {
             assert_eq!(cell.execution, slice.execution);
             assert_eq!(format!("{:?}", cell.report), format!("{:?}", slice.report));
         }
+    }
+
+    /// A minimal synthesized workload: borrows TeraSort as its carrier
+    /// kind (the population crate does the same with its nearest-named
+    /// carrier) but decomposes into a different motif set.
+    #[derive(Debug)]
+    struct MiniSynthetic;
+
+    impl Workload for MiniSynthetic {
+        fn kind(&self) -> WorkloadKind {
+            WorkloadKind::TeraSort
+        }
+        fn pattern(&self) -> &'static str {
+            "synthetic test"
+        }
+        fn input_descriptor(&self) -> dmpb_datagen::DataDescriptor {
+            dmpb_datagen::DataDescriptor::new(
+                dmpb_datagen::DataClass::Text,
+                1 << 30,
+                100,
+                0.0,
+                dmpb_datagen::Distribution::Uniform,
+            )
+        }
+        fn motif_composition(&self) -> Vec<(dmpb_motifs::MotifClass, f64)> {
+            vec![
+                (dmpb_motifs::MotifClass::Sort, 0.6),
+                (dmpb_motifs::MotifClass::Sampling, 0.4),
+            ]
+        }
+        fn involved_motifs(&self) -> Vec<dmpb_motifs::MotifKind> {
+            vec![
+                dmpb_motifs::MotifKind::QuickSort,
+                dmpb_motifs::MotifKind::RandomSampling,
+            ]
+        }
+        fn per_node_profile(&self, cluster: &ClusterConfig) -> dmpb_perfmodel::profile::OpProfile {
+            dmpb_workloads::hadoop::TeraSort::scaled(1 << 30).per_node_profile(cluster)
+        }
+    }
+
+    #[test]
+    fn synthetic_cells_never_share_a_cache_entry_with_their_carrier() {
+        let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+        let named_run = runner.run_kind(WorkloadKind::TeraSort);
+        let named_key = TuningKey::new(WorkloadKind::TeraSort, runner.generator());
+        let synthetic_key =
+            TuningKey::for_synthetic(WorkloadKind::TeraSort, runner.generator(), 0xABCD);
+        assert_ne!(named_key, synthetic_key);
+        assert!(
+            runner.cache.lookup(&synthetic_key).is_none(),
+            "the carrier's tune must not satisfy a synthetic lookup"
+        );
+
+        let synthetic_run = runner.run_synthetic_cell(&MiniSynthetic, 0xABCD, 500, 7);
+        assert_eq!(synthetic_run.kind, WorkloadKind::TeraSort, "carrier kind");
+        assert_eq!(
+            runner.cache_stats().entries,
+            2,
+            "named and synthetic tunes occupy distinct entries"
+        );
+        // The synthetic tune must not have overwritten the named entry.
+        let named_again = runner.run_kind(WorkloadKind::TeraSort);
+        assert_eq!(
+            named_run.report.proxy.parameters(),
+            named_again.report.proxy.parameters()
+        );
+        // And a repeated synthetic run is served from its own entry.
+        let hits_before = runner.cache_stats().hits;
+        let again = runner.run_synthetic_cell(&MiniSynthetic, 0xABCD, 500, 7);
+        assert!(runner.cache_stats().hits > hits_before);
+        assert_eq!(again.execution, synthetic_run.execution);
+    }
+
+    #[test]
+    fn distinct_synthetic_members_get_distinct_entries() {
+        let runner = SuiteRunner::new(ClusterConfig::five_node_westmere());
+        let a = runner
+            .try_run_synthetic_cell(&MiniSynthetic, 1, 500, 7)
+            .expect("member 1 runs");
+        let b = runner
+            .try_run_synthetic_cell(&MiniSynthetic, 2, 500, 7)
+            .expect("member 2 runs");
+        assert_eq!(runner.cache_stats().entries, 2);
+        assert_eq!(
+            a.execution.checksum, b.execution.checksum,
+            "same workload body"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for named workloads")]
+    fn zero_synthetic_discriminator_is_rejected() {
+        let generator = ProxyGenerator::new(ClusterConfig::five_node_westmere());
+        let _ = TuningKey::for_synthetic(WorkloadKind::TeraSort, &generator, 0);
     }
 
     #[test]

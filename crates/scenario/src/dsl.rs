@@ -30,6 +30,27 @@
 //!                                 # at most this many elements (bounded
 //!                                 # RSS; digests are unchanged)
 //!
+//! [population]                    # optional: sweep a seeded population of
+//! size = 128                      # synthesized workloads alongside (or
+//! base-seed = 0xDA7A              # instead of) the named ones
+//! family = "mixed"                # chain / fork-join / diamond / layered /
+//!                                 # mixed (a family drawn per member)
+//! fit-to-paper = true             # start from parameters fitted to the
+//!                                 # eight paper workloads (default: false)
+//! ai-fraction = 0.25              # probability a member is an AI workload
+//! kernels-min = 3                 # sampled motif-kernel count range
+//! kernels-max = 8
+//! size-distribution = "log-uniform"  # uniform / log-uniform / zipf
+//! size-min-mb = 1024              # sampled total-data-size range (MB)
+//! size-max-mb = 102400
+//! zipf-exponent = 1.5             # zipf shape (when distribution = zipf)
+//! sparsity-min = 0.0              # sampled sparsity range
+//! sparsity-max = 0.5
+//! duration-budget-secs = 600.0    # campaign-wide modeled-cost budget:
+//!                                 # truncates the population to the rank
+//!                                 # prefix that fits (split evenly across
+//!                                 # the axis combinations)
+//!
 //! [[include]]                     # optional, repeatable: if any [[include]]
 //! workload = "TeraSort"           # blocks exist, a cell must match at
 //! cluster = "five-node-westmere"  # least one of them to be kept
@@ -44,9 +65,15 @@
 //! escapes), integers (decimal or `0x` hex, `_` separators), floats,
 //! booleans, and single-line arrays of those scalars.  Keys are bare
 //! (`[A-Za-z0-9_-]+`).  Unknown sections, unknown keys, duplicate keys
-//! within a table and duplicate `[scenario]`/`[axes]`/`[executor]`
-//! sections are errors — a typo or leftover line must not silently
-//! produce an empty or different sweep.
+//! within a table and duplicate
+//! `[scenario]`/`[axes]`/`[executor]`/`[population]` sections are
+//! errors — a typo or leftover line must not silently produce an empty
+//! or different sweep.
+//!
+//! A scenario with a `[population]` section may set `workloads = []`:
+//! the synthesized members are then the only workload axis (a
+//! population-only sweep).  Without a population, every axis needs at
+//! least one value.
 //!
 //! Every axis value is validated at parse time against the registries it
 //! names ([`WorkloadKind`]'s `FromStr`, [`ClusterConfig::by_name`],
@@ -58,6 +85,7 @@
 //! [`Scenario::expand`](crate::matrix) for the determinism contract.
 
 use dmpb_perfmodel::arch::ArchProfile;
+use dmpb_population::{PopulationSpec, SizeDistribution, TopologyFamily};
 use dmpb_workloads::{ClusterConfig, WorkloadKind};
 
 use crate::matrix::CellFilter;
@@ -104,6 +132,9 @@ pub struct Scenario {
     pub include: Vec<CellFilter>,
     /// Drop filters (a cell matching any is dropped).
     pub exclude: Vec<CellFilter>,
+    /// When set, a seeded population of synthesized workloads sweeps
+    /// alongside (or, with `workloads = []`, instead of) the named ones.
+    pub population: Option<PopulationSpec>,
 }
 
 impl Scenario {
@@ -124,6 +155,7 @@ impl Scenario {
             chunk_elements: None,
             include: Vec::new(),
             exclude: Vec::new(),
+            population: None,
         }
     }
 
@@ -188,6 +220,7 @@ enum Section {
     Scenario,
     Axes,
     Executor,
+    Population,
     Include(usize),
     Exclude(usize),
 }
@@ -198,11 +231,14 @@ struct Document {
     scenario: Vec<(String, Value, usize)>,
     axes: Vec<(String, Value, usize)>,
     executor: Vec<(String, Value, usize)>,
+    population: Vec<(String, Value, usize)>,
     include: Vec<Vec<(String, Value, usize)>>,
     exclude: Vec<Vec<(String, Value, usize)>>,
     saw_scenario: bool,
     saw_axes: bool,
     saw_executor: bool,
+    saw_population: bool,
+    population_line: usize,
 }
 
 /// Rejects a key assigned twice within one table — a leftover duplicate
@@ -285,11 +321,19 @@ impl Document {
                         doc.saw_executor = true;
                         Section::Executor
                     }
+                    "population" => {
+                        if doc.saw_population {
+                            return err(line_no, "duplicate [population] section");
+                        }
+                        doc.saw_population = true;
+                        doc.population_line = line_no;
+                        Section::Population
+                    }
                     other => {
                         return err(
                             line_no,
                             format!(
-                                "unknown section `[{other}]` (expected scenario/axes/executor)"
+                                "unknown section `[{other}]` (expected scenario/axes/executor/population)"
                             ),
                         )
                     }
@@ -302,6 +346,7 @@ impl Document {
                     Some(Section::Scenario) => doc.scenario.push(entry),
                     Some(Section::Axes) => doc.axes.push(entry),
                     Some(Section::Executor) => doc.executor.push(entry),
+                    Some(Section::Population) => doc.population.push(entry),
                     Some(Section::Include(i)) => doc.include[*i].push(entry),
                     Some(Section::Exclude(i)) => doc.exclude[*i].push(entry),
                 }
@@ -317,6 +362,7 @@ impl Document {
         reject_duplicate_keys("[scenario]", &self.scenario)?;
         reject_duplicate_keys("[axes]", &self.axes)?;
         reject_duplicate_keys("[executor]", &self.executor)?;
+        reject_duplicate_keys("[population]", &self.population)?;
         for table in self.include.iter().chain(&self.exclude) {
             reject_duplicate_keys("filter", table)?;
         }
@@ -369,7 +415,9 @@ impl Document {
                 other => return err(*line, format!("unknown [axes] key `{other}`")),
             }
         }
-        if scenario.workloads.is_empty()
+        // A population can stand in for the workload axis (a
+        // population-only sweep); every other axis always needs a value.
+        if (scenario.workloads.is_empty() && !self.saw_population)
             || scenario.clusters.is_empty()
             || scenario.architectures.is_empty()
             || scenario.elements.is_empty()
@@ -392,6 +440,10 @@ impl Document {
             }
         }
 
+        if self.saw_population {
+            scenario.population = Some(self.parse_population()?);
+        }
+
         for table in &self.include {
             scenario.include.push(parse_filter(table)?);
         }
@@ -399,6 +451,75 @@ impl Document {
             scenario.exclude.push(parse_filter(table)?);
         }
         Ok(scenario)
+    }
+
+    fn parse_population(&self) -> Result<PopulationSpec, ParseError> {
+        let canon = |k: &str| k.replace('_', "-");
+        // `fit-to-paper` chooses the *base* spec every other key then
+        // overrides, so honor it first regardless of key order.
+        let mut spec = PopulationSpec::default();
+        for (key, value, line) in &self.population {
+            if canon(key) == "fit-to-paper" {
+                match value {
+                    Value::Bool(true) => spec = PopulationSpec::fit_to_paper(),
+                    Value::Bool(false) => {}
+                    _ => return err(*line, "`fit-to-paper` must be a boolean"),
+                }
+            }
+        }
+        let positive_u32 = |value: &Value, line: &usize, key: &str| match value {
+            Value::Int(n) if *n > 0 && *n <= u64::from(u32::MAX) => Ok(*n as u32),
+            _ => err(*line, format!("`{key}` must be a positive integer")),
+        };
+        let positive_mb = |value: &Value, line: &usize, key: &str| match value {
+            Value::Int(n) if *n > 0 && *n <= (u64::MAX >> 20) => Ok(*n << 20),
+            _ => err(*line, format!("`{key}` must be a positive integer (MB)")),
+        };
+        for (key, value, line) in &self.population {
+            match canon(key).as_str() {
+                "fit-to-paper" => {}
+                "family" => {
+                    spec.family = expect_string(value, line)?
+                        .parse::<TopologyFamily>()
+                        .map_err(|e| ParseError {
+                            line: *line,
+                            message: e,
+                        })?
+                }
+                "size" => spec.size = positive_u32(value, line, "size")?,
+                "base-seed" => match value {
+                    Value::Int(n) => spec.base_seed = *n,
+                    _ => return err(*line, "`base-seed` must be an integer"),
+                },
+                "ai-fraction" => spec.ai_fraction = expect_f64(value, line)?,
+                "kernels-min" => spec.kernels_min = positive_u32(value, line, "kernels-min")?,
+                "kernels-max" => spec.kernels_max = positive_u32(value, line, "kernels-max")?,
+                "size-distribution" => {
+                    spec.size_distribution = expect_string(value, line)?
+                        .parse::<SizeDistribution>()
+                        .map_err(|e| ParseError {
+                            line: *line,
+                            message: e,
+                        })?
+                }
+                "size-min-mb" => spec.size_min_bytes = positive_mb(value, line, "size-min-mb")?,
+                "size-max-mb" => spec.size_max_bytes = positive_mb(value, line, "size-max-mb")?,
+                "zipf-exponent" => spec.zipf_exponent = expect_f64(value, line)?,
+                "sparsity-min" => spec.sparsity_min = expect_f64(value, line)?,
+                "sparsity-max" => spec.sparsity_max = expect_f64(value, line)?,
+                "duration-budget-secs" => {
+                    spec.duration_budget_secs = Some(expect_f64(value, line)?)
+                }
+                other => return err(*line, format!("unknown [population] key `{other}`")),
+            }
+        }
+        if let Err(message) = spec.validate() {
+            return err(
+                self.population_line,
+                format!("invalid [population]: {message}"),
+            );
+        }
+        Ok(spec)
     }
 }
 
@@ -420,6 +541,17 @@ fn expect_string(value: &Value, line: &usize) -> Result<String, ParseError> {
         other => err(
             *line,
             format!("expected a string, found {}", other.type_name()),
+        ),
+    }
+}
+
+fn expect_f64(value: &Value, line: &usize) -> Result<f64, ParseError> {
+    match value {
+        Value::Int(n) => Ok(*n as f64),
+        Value::Float(f) => Ok(*f),
+        other => err(
+            *line,
+            format!("expected a number, found {}", other.type_name()),
         ),
     }
 }
@@ -895,6 +1027,103 @@ mod tests {
             (
                 "[scenario]\nname = \"x\"\n[executor]\nchunk_elements = \"big\"",
                 "`chunk_elements` must be a positive integer",
+            ),
+        ] {
+            let e = Scenario::parse(src).unwrap_err();
+            assert!(e.message.contains(needle), "`{src}` -> {e}");
+        }
+    }
+
+    #[test]
+    fn population_section_parses_and_validates() {
+        let src = r#"
+            [scenario]
+            name = "pop"
+            [axes]
+            workloads = []
+            [population]
+            size = 128
+            base_seed = 0xDA7A
+            family = "fork-join"
+            ai-fraction = 0.5
+            kernels-min = 2
+            kernels-max = 6
+            size-distribution = "zipf"
+            size-min-mb = 512
+            size-max-mb = 4096
+            zipf-exponent = 2
+            sparsity-min = 0.1
+            sparsity-max = 0.4
+            duration-budget-secs = 300.5
+        "#;
+        let s = Scenario::parse(src).unwrap();
+        assert!(s.workloads.is_empty());
+        let spec = s.population.unwrap();
+        assert_eq!(spec.size, 128);
+        assert_eq!(spec.base_seed, 0xDA7A);
+        assert_eq!(spec.family, TopologyFamily::ForkJoin);
+        assert_eq!(spec.ai_fraction, 0.5);
+        assert_eq!(spec.kernels_min, 2);
+        assert_eq!(spec.kernels_max, 6);
+        assert_eq!(spec.size_distribution, SizeDistribution::Zipf);
+        assert_eq!(spec.size_min_bytes, 512 << 20);
+        assert_eq!(spec.size_max_bytes, 4096 << 20);
+        assert_eq!(spec.zipf_exponent, 2.0);
+        assert_eq!(spec.sparsity_min, 0.1);
+        assert_eq!(spec.sparsity_max, 0.4);
+        assert_eq!(spec.duration_budget_secs, Some(300.5));
+    }
+
+    #[test]
+    fn fit_to_paper_sets_the_base_spec_regardless_of_key_order() {
+        let src = r#"
+            [scenario]
+            name = "pop"
+            [population]
+            size = 10
+            fit-to-paper = true
+        "#;
+        let spec = Scenario::parse(src).unwrap().population.unwrap();
+        let fitted = PopulationSpec::fit_to_paper();
+        assert_eq!(spec.size, 10, "explicit keys override the fitted base");
+        assert_eq!(spec.ai_fraction, fitted.ai_fraction);
+        assert_eq!(spec.size_min_bytes, fitted.size_min_bytes);
+    }
+
+    #[test]
+    fn population_errors_reject_bad_specs() {
+        for (src, needle) in [
+            (
+                "[scenario]\nname = \"x\"\n[population]\nfamily = \"torus\"",
+                "unknown topology family",
+            ),
+            (
+                "[scenario]\nname = \"x\"\n[population]\nsize = 0",
+                "`size` must be a positive integer",
+            ),
+            (
+                "[scenario]\nname = \"x\"\n[population]\nkernels-min = 9\nkernels-max = 2",
+                "invalid [population]",
+            ),
+            (
+                "[scenario]\nname = \"x\"\n[population]\nshape = \"ring\"",
+                "unknown [population] key",
+            ),
+            (
+                "[scenario]\nname = \"x\"\n[population]\nsize = 4\n[population]\nsize = 8",
+                "duplicate [population] section",
+            ),
+            (
+                "[scenario]\nname = \"x\"\n[population]\nsize = 4\nsize = 8",
+                "duplicate [population] key `size`",
+            ),
+            (
+                "[scenario]\nname = \"x\"\n[population]\nfit-to-paper = 1",
+                "`fit-to-paper` must be a boolean",
+            ),
+            (
+                "[scenario]\nname = \"x\"\n[axes]\nworkloads = []",
+                "at least one value",
             ),
         ] {
             let e = Scenario::parse(src).unwrap_err();

@@ -49,14 +49,15 @@ pub mod runner;
 pub mod store;
 
 pub use dsl::{ParseError, Scenario};
-pub use matrix::{CampaignCell, CellFilter};
+pub use matrix::{CampaignCell, CellFilter, PopulationCell, PopulationPlan};
 pub use runner::{
     CampaignDiff, CampaignError, CampaignReport, CampaignRunner, CellObserver, CellOutcome,
 };
 pub use store::{
     compact_sharded_store, compact_store, load_records_recovering, read_records, read_store_meta,
     read_store_records, segment_path, shard_for, CellResult, CompactionStats, LoadedRecords,
-    ResultStore, StoreStats, TornTail, DEFAULT_STORE_SHARDS, META_FILE, SIDECAR_FILE,
+    PopulationResult, ResultStore, StoreStats, TornTail, DEFAULT_STORE_SHARDS, META_FILE,
+    SIDECAR_FILE,
 };
 
 /// Version of the modelled methodology a stored result was computed
@@ -65,5 +66,9 @@ pub use store::{
 /// previously stored results stale — old entries then simply never hit.
 /// History: 2 — PR 8's granule-streamed kernels changed every kernel
 /// checksum (the reduce is an exact integer monoid over per-granule
-/// outcomes instead of one sequential fold).
-pub const CODE_MODEL_VERSION: u32 = 2;
+/// outcomes instead of one sequential fold).  3 — PR 10's population
+/// fingerprint segment: every cell address gains a `|population:…`
+/// segment (`-` for named workloads, `spec/rank/member` for synthetic
+/// population members) so synthetic cells can never shadow, or be
+/// served, a named workload's stored results.
+pub const CODE_MODEL_VERSION: u32 = 3;

@@ -20,7 +20,8 @@ use dmpb_core::fnv::hash_bytes;
 use dmpb_core::runner::fingerprint_cluster;
 use dmpb_datagen::rng::derive_seed;
 use dmpb_perfmodel::arch::ArchProfile;
-use dmpb_workloads::{ClusterConfig, WorkloadKind};
+use dmpb_population::{BudgetedPopulation, PopulationGenerator, PopulationSpec};
+use dmpb_workloads::{ClusterConfig, Workload, WorkloadKind};
 
 use crate::dsl::{Scenario, DEFAULT_ARCHITECTURE};
 
@@ -58,6 +59,60 @@ impl CellFilter {
     }
 }
 
+/// The synthetic-population identity of a campaign cell, when the cell
+/// runs a [`SyntheticWorkload`](dmpb_population::SyntheticWorkload)
+/// instead of a named paper workload.
+///
+/// Everything that determines *which* synthetic workload runs is here:
+/// the generative spec, the member's rank within the population, and the
+/// member's own content hash (over its full `describe_json()`, i.e. the
+/// sampled topology, kernel mix and data shape).  All three feed the
+/// cell [fingerprint](CampaignCell::fingerprint), so a synthetic cell
+/// can never collide with a named workload's address — or with a member
+/// of a differently-parameterized population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationCell {
+    /// The generative spec the member was sampled from.
+    pub spec: PopulationSpec,
+    /// The member's rank within the population (`0..size`).
+    pub rank: u32,
+    /// FNV hash of the member's `describe_json()` — its full sampled
+    /// identity.
+    pub member_hash: u64,
+    /// The member's concrete topology-family slug (e.g. `"fork-join"`).
+    pub family: String,
+    /// The member's display label (e.g. `"synthetic-fork-join-0007"`).
+    pub label: String,
+}
+
+/// How a scenario's population expands after duration-budget
+/// truncation — telemetry attached to the campaign report so truncation
+/// is visible, not silent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationPlan {
+    /// The spec as written in the scenario.
+    pub spec: PopulationSpec,
+    /// Axis combinations (clusters × architectures × elements × seeds)
+    /// each member is swept across.
+    pub combos: usize,
+    /// The population size before truncation.
+    pub full_size: u32,
+    /// Members kept per axis combination (a rank prefix).
+    pub planned: u32,
+    /// The per-combination wall budget applied, if any (the scenario's
+    /// campaign-wide budget divided by `combos`).
+    pub budget_secs: Option<f64>,
+    /// Summed modeled cost of the kept members, in seconds.
+    pub modeled_cost_secs: f64,
+}
+
+impl PopulationPlan {
+    /// Whether the budget dropped any member.
+    pub fn truncated(&self) -> bool {
+        self.planned < self.full_size
+    }
+}
+
 /// One point of the campaign matrix: a (workload, cluster, architecture,
 /// scale, seed) combination, plus the tuning-cluster context it executes
 /// under.
@@ -81,6 +136,11 @@ pub struct CampaignCell {
     /// Tuning-cluster slug, if the scenario pins one; `None` tunes on the
     /// cell's own (architecture-overridden) cluster.
     pub tuning_cluster_name: Option<String>,
+    /// Synthetic-population identity, if this cell runs a population
+    /// member rather than the named workload itself ([`Self::kind`] is
+    /// then the member's *carrier* — the nearest named workload by motif
+    /// composition).
+    pub population: Option<PopulationCell>,
 }
 
 impl CampaignCell {
@@ -115,14 +175,27 @@ impl CampaignCell {
     /// The content address of this cell: an FNV fingerprint over
     /// everything that determines its result — the code-model version,
     /// the workload and its stack, the full measurement- and
-    /// tuning-cluster configurations, the sample size and the derived
-    /// seed.  Campaign identity (scenario name, cell index, filters) is
-    /// deliberately *not* part of the address, so different scenarios
+    /// tuning-cluster configurations, the sample size, the derived seed,
+    /// and (for population members) the full synthetic identity:
+    /// population-spec hash, member rank and member content hash.  Named
+    /// cells carry a literal `population:-` segment, so a synthetic cell
+    /// whose carrier matches a named workload still addresses a disjoint
+    /// result.  Campaign identity (scenario name, cell index, filters)
+    /// is deliberately *not* part of the address, so different scenarios
     /// share results for identical cells.
     pub fn fingerprint(&self, version: u32) -> u64 {
+        let population = match &self.population {
+            Some(p) => format!(
+                "{:016x}/{}/{:016x}",
+                p.spec.spec_hash(),
+                p.rank,
+                p.member_hash
+            ),
+            None => "-".to_string(),
+        };
         hash_bytes(
             format!(
-                "campaign-cell|v{}|{}|{}|cluster:{:016x}|tuning:{:016x}|elements:{}|seed:{:016x}",
+                "campaign-cell|v{}|{}|{}|cluster:{:016x}|tuning:{:016x}|elements:{}|seed:{:016x}|population:{}",
                 version,
                 self.kind.short_name(),
                 self.kind.framework(),
@@ -130,6 +203,7 @@ impl CampaignCell {
                 fingerprint_cluster(&self.tuning_cluster()),
                 self.elements,
                 self.seed,
+                population,
             )
             .as_bytes(),
         )
@@ -143,6 +217,7 @@ impl Scenario {
     /// determinism contract.  Cells dropped by the include/exclude
     /// filters do not appear (and do not consume indices).
     pub fn expand(&self) -> Vec<CampaignCell> {
+        let population = self.budgeted_population();
         let mut cells = Vec::new();
         for cluster in &self.clusters {
             for architecture in &self.architectures {
@@ -163,9 +238,39 @@ impl Scenario {
                                 base_seed,
                                 seed: derive_seed(base_seed, position),
                                 tuning_cluster_name: self.tuning_cluster.clone(),
+                                population: None,
                             };
                             if self.admits(&cell) {
                                 cells.push(cell);
+                            }
+                        }
+                        if let (Some(budgeted), Some(spec)) = (&population, self.population) {
+                            for member in &budgeted.members {
+                                // Seed streams `0..ALL.len()` belong to the
+                                // named workloads; population members get
+                                // the streams after them, keyed by rank.
+                                let stream =
+                                    WorkloadKind::ALL.len() as u64 + u64::from(member.rank());
+                                let cell = CampaignCell {
+                                    index: cells.len(),
+                                    kind: member.kind(),
+                                    cluster_name: cluster.clone(),
+                                    architecture: architecture.clone(),
+                                    elements,
+                                    base_seed,
+                                    seed: derive_seed(base_seed, stream),
+                                    tuning_cluster_name: self.tuning_cluster.clone(),
+                                    population: Some(PopulationCell {
+                                        spec,
+                                        rank: member.rank(),
+                                        member_hash: member.member_hash(),
+                                        family: member.family().name().to_string(),
+                                        label: member.label().to_string(),
+                                    }),
+                                };
+                                if self.admits(&cell) {
+                                    cells.push(cell);
+                                }
                             }
                         }
                     }
@@ -173,6 +278,44 @@ impl Scenario {
             }
         }
         cells
+    }
+
+    /// The scenario's population after per-combination budget scaling:
+    /// the campaign-wide `duration-budget-secs` is split evenly across
+    /// the axis combinations each member is swept over, then the
+    /// population is truncated to the rank prefix whose summed *modeled*
+    /// cost fits.  `None` when the scenario has no `[population]`.
+    fn budgeted_population(&self) -> Option<BudgetedPopulation> {
+        let spec = self.population?;
+        let combos = self.axis_combinations();
+        let mut effective = spec;
+        effective.duration_budget_secs = spec.duration_budget_secs.map(|b| b / combos as f64);
+        let generator = PopulationGenerator::new(effective)
+            .expect("scenario population spec is validated at parse time");
+        Some(generator.generate_budgeted())
+    }
+
+    /// How the scenario's population expands — spec, axis combinations,
+    /// per-combination budget and the truncation it produced.  `None`
+    /// when the scenario has no `[population]`.
+    pub fn population_plan(&self) -> Option<PopulationPlan> {
+        let spec = self.population?;
+        let budgeted = self.budgeted_population()?;
+        Some(PopulationPlan {
+            spec,
+            combos: self.axis_combinations(),
+            full_size: budgeted.full_size,
+            planned: budgeted.members.len() as u32,
+            budget_secs: budgeted.budget_secs,
+            modeled_cost_secs: budgeted.modeled_cost_secs,
+        })
+    }
+
+    /// Axis combinations each workload (named or synthetic) is swept
+    /// over: clusters × architectures × elements × seeds.
+    fn axis_combinations(&self) -> usize {
+        (self.clusters.len() * self.architectures.len() * self.elements.len() * self.seeds.len())
+            .max(1)
     }
 
     /// Whether the include/exclude filters keep `cell`.
@@ -183,13 +326,12 @@ impl Scenario {
         self.include.is_empty() || self.include.iter().any(|f| f.matches(cell))
     }
 
-    /// Number of cells before filtering (the raw cartesian product).
+    /// Number of cells before filtering (the raw cartesian product,
+    /// including budget-truncated population members).
     pub fn matrix_size(&self) -> usize {
-        self.workloads.len()
-            * self.clusters.len()
-            * self.architectures.len()
-            * self.elements.len()
-            * self.seeds.len()
+        let per_combo =
+            self.workloads.len() + self.budgeted_population().map_or(0, |b| b.members.len());
+        per_combo * self.axis_combinations()
     }
 }
 
@@ -311,5 +453,110 @@ mod tests {
         let mut s = Scenario::with_defaults("size");
         s.seeds = vec![1, 2, 3];
         assert_eq!(s.matrix_size(), 24);
+    }
+
+    fn population_scenario(size: u32) -> Scenario {
+        let mut s = Scenario::with_defaults("pop");
+        s.population = Some(PopulationSpec {
+            size,
+            base_seed: 0xFEED,
+            ..PopulationSpec::default()
+        });
+        s
+    }
+
+    #[test]
+    fn population_cells_expand_after_named_cells_in_rank_order() {
+        let s = population_scenario(4);
+        let cells = s.expand();
+        assert_eq!(cells.len(), 12);
+        assert_eq!(s.matrix_size(), 12);
+        for (i, cell) in cells.iter().take(8).enumerate() {
+            assert_eq!(cell.kind, WorkloadKind::ALL[i]);
+            assert!(cell.population.is_none());
+        }
+        for (rank, cell) in cells.iter().skip(8).enumerate() {
+            let pop = cell.population.as_ref().expect("population cell");
+            assert_eq!(pop.rank, rank as u32);
+            assert_eq!(cell.index, 8 + rank);
+            // Population seed streams come after the named workloads'.
+            assert_eq!(
+                cell.seed,
+                derive_seed(cell.base_seed, WorkloadKind::ALL.len() as u64 + rank as u64)
+            );
+            assert!(pop.label.starts_with("synthetic-"));
+        }
+        // Expansion is deterministic.
+        assert_eq!(cells, s.expand());
+    }
+
+    #[test]
+    fn population_fingerprints_are_disjoint_from_named_and_each_other() {
+        let s = population_scenario(4);
+        let cells = s.expand();
+        let mut prints: Vec<u64> = cells.iter().map(|c| c.fingerprint(3)).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(
+            prints.len(),
+            cells.len(),
+            "every cell addresses a distinct result"
+        );
+
+        // A synthetic cell matching a named cell on every legacy axis
+        // (kind, cluster, elements, seed) still has a distinct address.
+        let synthetic = &cells[8];
+        let mut named = synthetic.clone();
+        named.population = None;
+        assert_ne!(named.fingerprint(3), synthetic.fingerprint(3));
+
+        // Changing any synthetic identity component moves the address.
+        let mut other = synthetic.clone();
+        other.population.as_mut().unwrap().member_hash ^= 1;
+        assert_ne!(other.fingerprint(3), synthetic.fingerprint(3));
+        let mut other = synthetic.clone();
+        other.population.as_mut().unwrap().rank += 1;
+        assert_ne!(other.fingerprint(3), synthetic.fingerprint(3));
+        let mut other = synthetic.clone();
+        other.population.as_mut().unwrap().spec.ai_fraction = 0.9;
+        assert_ne!(other.fingerprint(3), synthetic.fingerprint(3));
+    }
+
+    #[test]
+    fn population_budget_truncates_to_a_rank_prefix_per_combo() {
+        let mut unbudgeted = population_scenario(8);
+        unbudgeted.workloads.clear();
+        let full = unbudgeted.expand();
+        assert_eq!(full.len(), 8);
+
+        let mut budgeted = unbudgeted.clone();
+        let spec = budgeted.population.as_mut().unwrap();
+        // Enough for a few members but not all eight.
+        spec.duration_budget_secs = Some(3.0);
+        let kept = budgeted.expand();
+        assert!(!kept.is_empty() && kept.len() < full.len());
+        // Truncation keeps a rank prefix: same members, same addresses
+        // (the budget itself is deliberately not part of the address).
+        for (k, f) in kept.iter().zip(&full) {
+            assert_eq!(k.fingerprint(3), f.fingerprint(3));
+            assert_eq!(
+                k.population.as_ref().unwrap().label,
+                f.population.as_ref().unwrap().label
+            );
+        }
+
+        let plan = budgeted.population_plan().expect("plan");
+        assert!(plan.truncated());
+        assert_eq!(plan.planned as usize, kept.len());
+        assert_eq!(plan.full_size, 8);
+        assert_eq!(plan.combos, 1);
+
+        // The campaign-wide budget is split across axis combinations:
+        // doubling the seed axis halves the per-combo budget.
+        let mut split = budgeted.clone();
+        split.seeds = vec![1, 2];
+        let split_plan = split.population_plan().expect("plan");
+        assert_eq!(split_plan.combos, 2);
+        assert_eq!(split_plan.budget_secs, Some(1.5));
     }
 }

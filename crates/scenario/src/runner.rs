@@ -25,9 +25,10 @@ use dmpb_core::ProxyGenerator;
 use dmpb_metrics::table::{fmt_percent, fmt_speedup, TextTable};
 use dmpb_motifs::workers::WorkerPool;
 use dmpb_motifs::{KernelProfile, KernelProfiler};
+use dmpb_population::PopulationGenerator;
 
 use crate::dsl::Scenario;
-use crate::matrix::CampaignCell;
+use crate::matrix::{CampaignCell, PopulationPlan};
 use crate::store::{CellResult, ResultStore, StoreStats};
 use crate::CODE_MODEL_VERSION;
 
@@ -55,6 +56,10 @@ pub struct CampaignReport {
     pub scenario: String,
     /// Per-cell results in matrix order.
     pub outcomes: Vec<CellOutcome>,
+    /// How the scenario's population expanded (spec, per-combination
+    /// budget, truncation), when it swept one.  Telemetry like
+    /// cached-ness: not part of the digest.
+    pub population: Option<PopulationPlan>,
 }
 
 impl CampaignReport {
@@ -106,7 +111,10 @@ impl CampaignReport {
         for outcome in &self.outcomes {
             let c = &outcome.result;
             t.add_row(&[
-                c.workload.to_string(),
+                c.population
+                    .as_ref()
+                    .map(|p| p.label.clone())
+                    .unwrap_or_else(|| c.workload.to_string()),
                 c.cluster.clone(),
                 c.architecture.clone(),
                 c.elements.to_string(),
@@ -394,8 +402,27 @@ impl CampaignRunner {
             },
             None => {
                 let runner = self.cluster_runner(cell, chunk_elements);
-                let run = runner.try_run_cell(cell.kind, cell.elements, cell.seed)?;
-                let result = CellResult::compute(cell, &run, self.version);
+                let result = match &cell.population {
+                    Some(pop) => {
+                        // Re-synthesize the member from its spec + rank —
+                        // cheap, deterministic, and it keeps cells (which
+                        // cross thread and queue boundaries) plain data.
+                        let member = PopulationGenerator::new(pop.spec)
+                            .map_err(|e| format!("invalid population spec: {e}"))?
+                            .member(pop.rank);
+                        let run = runner.try_run_synthetic_cell(
+                            &member,
+                            pop.member_hash,
+                            cell.elements,
+                            cell.seed,
+                        )?;
+                        CellResult::compute_for(cell, &run, self.version, &member)
+                    }
+                    None => {
+                        let run = runner.try_run_cell(cell.kind, cell.elements, cell.seed)?;
+                        CellResult::compute(cell, &run, self.version)
+                    }
+                };
                 debug_assert_eq!(result.fingerprint, fingerprint);
                 // A failed append already degraded the store to
                 // in-memory with a recorded warning; the result itself
@@ -493,6 +520,7 @@ impl CampaignRunner {
         Ok(CampaignReport {
             scenario: scenario.name.clone(),
             outcomes,
+            population: scenario.population_plan(),
         })
     }
 

@@ -54,9 +54,28 @@ use dmpb_core::fnv::hash_bytes;
 use dmpb_core::runner::ProxyRun;
 use dmpb_metrics::json::{parse_object, JsonScalar, ObjectWriter};
 use dmpb_motifs::workers::WorkerPool;
-use dmpb_workloads::{workload_by_kind, Framework, WorkloadKind};
+use dmpb_workloads::{workload_by_kind, Framework, Workload, WorkloadKind};
 
 use crate::matrix::CampaignCell;
+
+/// The synthetic-population identity persisted with a cell result, when
+/// the cell ran a population member.  Mirrors
+/// [`PopulationCell`](crate::matrix::PopulationCell) but carries only
+/// the hashes (the spec itself lives in the scenario), so stored lines
+/// stay flat and old readers that ignore unknown keys keep working.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationResult {
+    /// Hash of the generative [`PopulationSpec`](dmpb_population::PopulationSpec).
+    pub spec_hash: u64,
+    /// The member's rank within the population.
+    pub rank: u32,
+    /// FNV hash of the member's full sampled identity.
+    pub member_hash: u64,
+    /// The member's concrete topology-family slug.
+    pub family: String,
+    /// The member's display label.
+    pub label: String,
+}
 
 /// The persisted result of one campaign cell: tuning outcome, accuracy,
 /// runtime model measurements on the cell's cluster, and the kernel
@@ -113,6 +132,9 @@ pub struct CellResult {
     pub checksum: u64,
     /// Per-metric accuracies in the tuner's tracked-metric order.
     pub accuracies: Vec<(String, f64)>,
+    /// Synthetic-population identity, when the cell ran a population
+    /// member ([`Self::workload`] is then the member's carrier).
+    pub population: Option<PopulationResult>,
 }
 
 impl CellResult {
@@ -120,6 +142,19 @@ impl CellResult {
     /// execution on the tuning cluster) plus the pure performance-model
     /// measurements on the cell's own cluster.
     pub fn compute(cell: &CampaignCell, run: &ProxyRun, version: u32) -> CellResult {
+        Self::compute_for(cell, run, version, workload_by_kind(cell.kind).as_ref())
+    }
+
+    /// Like [`CellResult::compute`], but measuring the given workload
+    /// instance on the cell's cluster instead of resolving it from
+    /// [`CampaignCell::kind`] — the entry point for synthetic population
+    /// members, whose carrier kind is *not* the workload that ran.
+    pub fn compute_for(
+        cell: &CampaignCell,
+        run: &ProxyRun,
+        version: u32,
+        workload: &dyn Workload,
+    ) -> CellResult {
         let cluster = cell.cluster();
         let (worst_metric, worst_accuracy) = run
             .report
@@ -149,7 +184,7 @@ impl CellResult {
             speedup: run.report.speedup,
             real_runtime_secs: run.report.real_metrics.runtime_secs,
             proxy_runtime_secs: run.report.proxy_metrics.runtime_secs,
-            cell_real_runtime_secs: workload_by_kind(cell.kind).measure(&cluster).runtime_secs,
+            cell_real_runtime_secs: workload.measure(&cluster).runtime_secs,
             cell_proxy_runtime_secs: run.report.proxy.measure(&cluster.node.arch).runtime_secs,
             kernels_run: run.execution.kernels_run,
             checksum: run.execution.checksum,
@@ -160,6 +195,13 @@ impl CellResult {
                 .iter()
                 .map(|(id, acc)| (id.name().to_string(), *acc))
                 .collect(),
+            population: cell.population.as_ref().map(|p| PopulationResult {
+                spec_hash: p.spec.spec_hash(),
+                rank: p.rank,
+                member_hash: p.member_hash,
+                family: p.family.clone(),
+                label: p.label.clone(),
+            }),
         }
     }
 
@@ -197,6 +239,13 @@ impl CellResult {
         w.field_f64("cell_proxy_runtime_secs", self.cell_proxy_runtime_secs);
         w.field_int("kernels_run", self.kernels_run as i64);
         w.field_u64_hex("checksum", self.checksum);
+        if let Some(p) = &self.population {
+            w.field_u64_hex("pop_spec", p.spec_hash);
+            w.field_int("pop_rank", i64::from(p.rank));
+            w.field_u64_hex("pop_member", p.member_hash);
+            w.field_str("pop_family", &p.family);
+            w.field_str("pop_label", &p.label);
+        }
         for (metric, acc) in &self.accuracies {
             w.field_f64(&format!("acc:{metric}"), *acc);
         }
@@ -278,6 +327,20 @@ impl CellResult {
             kernels_run: uint_field("kernels_run")? as usize,
             checksum: hex_field("checksum")?,
             accuracies,
+            // Population fields travel as a group: a line either has all
+            // five or none (absence = a named-workload cell).
+            population: if map.contains_key("pop_spec") {
+                Some(PopulationResult {
+                    spec_hash: hex_field("pop_spec")?,
+                    rank: u32::try_from(uint_field("pop_rank")?)
+                        .map_err(|_| "field `pop_rank` exceeds u32".to_string())?,
+                    member_hash: hex_field("pop_member")?,
+                    family: str_field("pop_family")?,
+                    label: str_field("pop_label")?,
+                })
+            } else {
+                None
+            },
         })
     }
 }
@@ -1804,6 +1867,91 @@ mod tests {
             result.accuracy_for(&result.worst_metric),
             Some(result.worst_accuracy)
         );
+    }
+
+    #[test]
+    fn population_results_round_trip_and_tolerate_absence() {
+        let mut result = sample_result();
+        result.population = Some(PopulationResult {
+            spec_hash: 0xABCD_EF01_2345_6789,
+            rank: 42,
+            member_hash: 0x1122_3344_5566_7788,
+            family: "fork-join".to_string(),
+            label: "synthetic-fork-join-0042".to_string(),
+        });
+        let line = result.to_line();
+        assert!(line.contains("\"pop_spec\""), "{line}");
+        let back = CellResult::from_line(&line).unwrap();
+        assert_eq!(back, result);
+        assert_eq!(back.to_line(), line);
+
+        // A line with no pop_* fields parses as a named-workload cell.
+        let named = sample_result();
+        let back = CellResult::from_line(&named.to_line()).unwrap();
+        assert_eq!(back.population, None);
+
+        // A partial population group is corruption, not a named cell.
+        let partial = line.replace("\"pop_rank\":42,", "");
+        let err = CellResult::from_line(&partial).unwrap_err();
+        assert!(err.contains("pop_rank"), "{err}");
+    }
+
+    /// PR 10's fingerprint fix: a synthetic cell that matches a named
+    /// cell on every legacy axis (carrier kind, cluster, architecture,
+    /// elements, seed) must neither be served the named cell's stored
+    /// result nor shadow it — in both store layouts.
+    #[test]
+    fn synthetic_cells_never_shadow_named_results_in_either_store_layout() {
+        use dmpb_population::PopulationSpec;
+
+        let mut scenario = Scenario::with_defaults("no-shadow");
+        scenario.population = Some(PopulationSpec {
+            size: 1,
+            ..PopulationSpec::default()
+        });
+        let cells = scenario.expand();
+        let synthetic = cells.last().unwrap().clone();
+        assert!(synthetic.population.is_some());
+        // The named twin: identical on every axis the old fingerprint saw.
+        let mut named = synthetic.clone();
+        named.population = None;
+        let named_fp = named.fingerprint(crate::CODE_MODEL_VERSION);
+        let synthetic_fp = synthetic.fingerprint(crate::CODE_MODEL_VERSION);
+        assert_ne!(named_fp, synthetic_fp);
+
+        let template = sample_result();
+        let dir = temp_store_dir("no-shadow");
+        let legacy = ResultStore::open(dir.join("legacy.jsonl")).unwrap();
+        let sharded = ResultStore::open_sharded(dir.join("sharded"), 4).unwrap();
+        for store in [&legacy, &sharded] {
+            // Direction 1: a stored named result is not served to the
+            // synthetic cell.
+            let mut named_result = template.clone();
+            named_result.fingerprint = named_fp;
+            store.insert(named_result.clone()).unwrap();
+            assert_eq!(store.lookup(synthetic_fp), None);
+
+            // Direction 2: storing the synthetic result afterwards does
+            // not shadow (or mutate) the named one.
+            let mut synthetic_result = template.clone();
+            synthetic_result.fingerprint = synthetic_fp;
+            synthetic_result.checksum ^= 0xFFFF;
+            store.insert(synthetic_result.clone()).unwrap();
+            assert_eq!(store.lookup(named_fp).unwrap(), named_result);
+            assert_eq!(store.lookup(synthetic_fp).unwrap(), synthetic_result);
+            store.sync().unwrap();
+        }
+
+        // Persistence keeps them distinct too.
+        drop((legacy, sharded));
+        for path in [dir.join("legacy.jsonl"), dir.join("sharded")] {
+            let reopened = ResultStore::open(&path).unwrap();
+            assert_ne!(
+                reopened.lookup(named_fp).unwrap().checksum,
+                reopened.lookup(synthetic_fp).unwrap().checksum
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -144,6 +144,25 @@ pub(crate) fn render_metrics(state: &ServiceState) -> String {
         "Campaigns currently executing (0 or 1: one dispatcher).",
         counters.running.load(Ordering::Relaxed),
     );
+    // Synthetic population cells finished, one series per concrete
+    // topology family — fixed, small cardinality, so all four series
+    // are always exposed (a family that never ran reads 0).
+    {
+        let name = "dmpb_population_cells_total";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Synthetic population cells finished (computed or store-served), by topology family."
+        );
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (index, family) in dmpb_population::TopologyFamily::CONCRETE.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{name}{{family=\"{}\"}} {}",
+                family.name(),
+                counters.population_cells[index].load(Ordering::Relaxed)
+            );
+        }
+    }
     metric(
         &mut out,
         "dmpb_queue_depth",

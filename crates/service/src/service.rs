@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 use dmpb_core::fnv::hash_bytes;
 use dmpb_metrics::histogram::LatencyHistogram;
 use dmpb_metrics::json::ObjectWriter;
-use dmpb_scenario::{CampaignRunner, ResultStore, Scenario, StoreStats};
+use dmpb_population::TopologyFamily;
+use dmpb_scenario::{CampaignReport, CampaignRunner, ResultStore, Scenario, StoreStats};
 
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::prometheus::render_metrics;
@@ -116,6 +117,30 @@ pub(crate) struct ServiceCounters {
     pub failed: AtomicU64,
     pub rejected: AtomicU64,
     pub running: AtomicU64,
+    /// Synthetic population cells finished (computed or store-served),
+    /// indexed by the member's concrete family's position in
+    /// [`TopologyFamily::CONCRETE`].
+    pub population_cells: [AtomicU64; 4],
+}
+
+impl ServiceCounters {
+    /// Accumulates a completed report's synthetic cells into the
+    /// per-family counters.
+    fn record_population_cells(&self, report: &CampaignReport) {
+        for cell in report.cells() {
+            let Some(pop) = &cell.population else {
+                continue;
+            };
+            if let Some(index) = pop
+                .family
+                .parse::<TopologyFamily>()
+                .ok()
+                .and_then(|family| TopologyFamily::CONCRETE.iter().position(|f| *f == family))
+            {
+                self.population_cells[index].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 pub(crate) struct ServiceState {
@@ -338,6 +363,7 @@ fn dispatch_loop(state: Arc<ServiceState>) {
         let status = match state.runner.try_run(&scenario) {
             Ok(report) => {
                 state.counters.completed.fetch_add(1, Ordering::Relaxed);
+                state.counters.record_population_cells(&report);
                 CampaignStatus::Done {
                     cells: report.outcomes.len(),
                     served: report.cache_hits(),

@@ -234,6 +234,71 @@ fn bad_requests_get_specific_statuses() {
     handle.shutdown();
 }
 
+/// A population-only sweep: 3 synthesized workloads, no named ones.
+const POPULATION_SCENARIO: &str = r#"
+[scenario]
+name = "daemon-population"
+description = "population sweep for the daemon integration test"
+
+[axes]
+workloads = []
+elements = [600]
+
+[population]
+size = 3
+base-seed = 0xDA7A
+family = "mixed"
+"#;
+
+#[test]
+fn population_campaigns_run_and_export_per_family_counters() {
+    let handle = serve(ServiceConfig {
+        queue_depth: 8,
+        workers: 4,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let id = submit(&addr, POPULATION_SCENARIO);
+    let (status, headers, cold_body) = wait_done(&addr, &id);
+    assert_eq!(
+        status,
+        200,
+        "population campaign failed: {}",
+        String::from_utf8_lossy(&cold_body)
+    );
+    let cells: usize = header(&headers, "x-dmpb-cells").parse().unwrap();
+    assert_eq!(cells, 3);
+    let body = String::from_utf8(cold_body).unwrap();
+    assert!(
+        body.contains("\"pop_label\":\"synthetic-"),
+        "report lines must carry the synthetic identity:\n{body}"
+    );
+
+    // A warm re-submission is store-served and still counted per family.
+    let id = submit(&addr, POPULATION_SCENARIO);
+    let (status, headers, warm_body) = wait_done(&addr, &id);
+    assert_eq!(status, 200);
+    let served: usize = header(&headers, "x-dmpb-store-served").parse().unwrap();
+    assert_eq!(served, 3, "warm population run must be store-served");
+    assert_eq!(String::from_utf8(warm_body).unwrap(), body);
+
+    let (status, _, metrics) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    let page = String::from_utf8(metrics).unwrap();
+    // All four concrete families are always exposed, and their series
+    // sum to the synthetic cells of both campaigns.
+    let mut total = 0.0;
+    for family in ["chain", "fork-join", "diamond", "layered"] {
+        let name = format!("dmpb_population_cells_total{{family=\"{family}\"}}");
+        total += metric_value(&page, &name);
+    }
+    assert_eq!(total as usize, 2 * cells, "{page}");
+
+    handle.shutdown();
+}
+
 /// Sums every series of a labelled per-shard metric family on the page.
 fn shard_family_sum(page: &str, family: &str) -> f64 {
     let mut series = 0;
